@@ -1,0 +1,61 @@
+// Section 3.1 ablation: forcing a version negotiation WITHOUT the
+// 1200-byte padding. The paper measured an 11.3 % response rate relative
+// to the padded scan, with 95.4 % of those responses from a single AS --
+// i.e. almost every deployment enforces RFC 9000's minimum datagram size
+// before answering.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  bench::print_header("Padding ablation for the ZMap VN probe (week 18)",
+                      "Section 3.1 (paper: 11.3 %% response rate without "
+                      "padding; 95.4 %% of those from one AS)");
+
+  netsim::EventLoop loop;
+  internet::Internet net({.dns_corpus_scale = 0.01}, 18, loop);
+  auto candidates = net.zmap_candidates_v4();
+
+  scanner::ZmapQuicScanner padded(net.network(), {});
+  auto padded_hits = padded.scan(candidates);
+
+  scanner::ZmapOptions unpadded_options;
+  unpadded_options.pad_to_1200 = false;
+  scanner::ZmapQuicScanner unpadded(net.network(), unpadded_options);
+  auto unpadded_hits = unpadded.scan(candidates);
+
+  std::printf("padded probe:    %s responders, %s bytes sent\n",
+              analysis::num(padded_hits.size()).c_str(),
+              analysis::num(padded.stats().bytes_sent).c_str());
+  std::printf("unpadded probe:  %s responders, %s bytes sent\n",
+              analysis::num(unpadded_hits.size()).c_str(),
+              analysis::num(unpadded.stats().bytes_sent).c_str());
+  std::printf("response rate without padding: %s (paper: 11.3 %%)\n",
+              analysis::pct(padded_hits.empty()
+                                ? 0.0
+                                : 100.0 *
+                                      static_cast<double>(
+                                          unpadded_hits.size()) /
+                                      static_cast<double>(padded_hits.size()),
+                            1)
+                  .c_str());
+
+  analysis::AsDistribution dist(net.population().as_registry());
+  for (const auto& hit : unpadded_hits) dist.add(hit.address);
+  auto ranked = dist.ranked();
+  if (!ranked.empty()) {
+    std::printf("top AS among unpadded responders: %s with %s of %s "
+                "(%s; paper: 95.4 %%)\n",
+                ranked[0].name.c_str(), analysis::num(ranked[0].count).c_str(),
+                analysis::num(dist.total()).c_str(),
+                analysis::pct(100 * dist.top_share(1), 1).c_str());
+  }
+  std::printf("\nBandwidth note: the padded sweep moved %.1fx the bytes of "
+              "the unpadded one -- the paper's 'a magnitude more traffic "
+              "than a TCP SYN scan' observation.\n",
+              unpadded.stats().bytes_sent
+                  ? static_cast<double>(padded.stats().bytes_sent) /
+                        static_cast<double>(unpadded.stats().bytes_sent)
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation: how much of the deployment a stateful scanner can reach as
+// a function of the QUIC versions it implements. The paper's QScanner
+// shipped with draft 29/32/34 and was updated to v1 right after RFC
+// 9000 -- this bench quantifies why that agility matters (sections 3.4
+// and 4.2), including the draft-dependent Initial salts: a scanner
+// stuck on old drafts cannot even decrypt newer servers' replies.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "Scanner version-support ablation (week 18 population)",
+      "Design ablation for section 3.4 (QScanner supported draft "
+      "29/32/34, later v1)");
+
+  auto discovery = bench::run_discovery(18, {.run_tcp_scan = false});
+
+  struct Variant {
+    const char* name;
+    std::vector<quic::Version> versions;
+  } variants[] = {
+      {"draft-27 only", {quic::kDraft27}},
+      {"draft-29 only", {quic::kDraft29}},
+      {"draft-29/32/34 (paper's scan builds)",
+       {quic::kDraft29, quic::kDraft32, quic::kDraft34}},
+      {"draft-29/32/34 + v1 (released QScanner)",
+       {quic::kDraft29, quic::kDraft32, quic::kDraft34, quic::kVersion1}},
+      {"v1 only", {quic::kVersion1}},
+  };
+
+  auto no_sni = bench::assemble_no_sni_targets(discovery, /*v6=*/false);
+  analysis::Table table({"Scanner build", "Compatible", "Scanned",
+                         "Success", "Rate"});
+  for (const auto& variant : variants) {
+    scanner::QscanOptions options;
+    options.supported_versions = variant.versions;
+    scanner::QScanner qscanner(discovery.net->network(), options);
+    std::vector<scanner::QscanTarget> filtered;
+    for (const auto& target : no_sni)
+      if (qscanner.compatible(target)) filtered.push_back(target);
+    auto shares = bench::tally(qscanner.scan(filtered));
+    table.row({variant.name,
+               analysis::pct(no_sni.empty()
+                                 ? 0.0
+                                 : 100.0 * static_cast<double>(filtered.size()) /
+                                       static_cast<double>(no_sni.size()),
+                             1),
+               analysis::num(shares.total),
+               analysis::num(shares.counts[scanner::QscanOutcome::kSuccess]),
+               analysis::pct(shares.share(scanner::QscanOutcome::kSuccess),
+                             1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading the output: 'Compatible' is the pre-filter the paper applies\n"
+      "(targets announcing a version the scanner speaks). A v1-only scanner\n"
+      "sees almost nothing in week 18 -- only Cloudflare had flipped v1 on\n"
+      "-- while a draft-27-only build loses everyone who moved to the\n"
+      "draft-29+ Initial salts. Version agility is not optional for QUIC\n"
+      "measurement.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 3: success rate of HTTPS DNS RR resolution per input list over
+// calendar weeks (left: percentage, right: absolute domain counts).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "HTTPS DNS RR success rate per input list, weekly",
+      "Figure 3 (paper week 18: top lists 5-8 %, CZDS ~2 %, com/net/org "
+      "~1 %, all growing)");
+
+  const int weeks[] = {10, 11, 12, 13, 14, 15, 16, 17, 18};
+  const char* lists[] = {"alexa", "umbrella", "majestic", "czds",
+                         "comnetorg"};
+
+  analysis::Table rate_table({"Week", "alexa", "umbrella", "majestic",
+                              "czds", "comnetorg"});
+  analysis::Table abs_table({"Week", "alexa", "umbrella", "majestic",
+                             "czds", "comnetorg"});
+
+  for (int week : weeks) {
+    // DNS-only pipeline: no TCP scan needed for this figure. The big
+    // zone corpora run at 1:10 of their full (already 1:1000-scaled)
+    // size; rates are scale-invariant by construction.
+    netsim::EventLoop loop;
+    internet::Internet net({.dns_corpus_scale = 0.1}, week, loop);
+    scanner::DnsScanner dns_scanner(net.zones());
+    std::vector<std::string> rates{std::to_string(week)};
+    std::vector<std::string> counts{std::to_string(week)};
+    for (const char* list : lists) {
+      auto scan = dns_scanner.scan_list(list, net.list_corpus(list));
+      rates.push_back(analysis::pct(100.0 * scan.https_rr_rate(), 2));
+      counts.push_back(analysis::num(scan.with_https_rr));
+    }
+    rate_table.row(rates);
+    abs_table.row(counts);
+  }
+
+  std::printf("HTTPS RR success rate per list (percent of resolved "
+              "domains):\n%s\n",
+              rate_table.render().c_str());
+  std::printf("Absolute domains with an HTTPS RR (czds/comnetorg at 1:10 "
+              "corpus scale):\n%s\n",
+              abs_table.render().c_str());
+  std::printf("Paper shape check: top lists lead by ~5x over the zone "
+              "corpora, and every series grows monotonically.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// google-benchmark end-to-end throughput: ZMap probe construction, full
+// QUIC handshakes and TLS-over-TCP handshakes against a live simulated
+// deployment -- the per-target costs that bound real scan rates.
+#include <benchmark/benchmark.h>
+
+#include "internet/internet.h"
+#include "scanner/qscanner.h"
+#include "scanner/tcp_tls.h"
+#include "scanner/zmap.h"
+
+namespace {
+
+struct Fixture {
+  netsim::EventLoop loop;
+  internet::Internet net{{.dns_corpus_scale = 0.001}, 18, loop};
+  netsim::IpAddress cloudflare_addr;
+  std::string cloudflare_domain;
+
+  Fixture() {
+    const auto& pop = net.population();
+    for (const auto& domain : pop.domains()) {
+      if (domain.v4_hosts.empty()) continue;
+      const auto& host = pop.hosts()[domain.v4_hosts[0]];
+      if (host.group == "cloudflare" && host.tls_max_version == 0x0304) {
+        cloudflare_addr = host.address;
+        cloudflare_domain = domain.name;
+        break;
+      }
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+void BM_ZmapProbeBuild(benchmark::State& state) {
+  auto& f = fixture();
+  scanner::ZmapQuicScanner zmap(f.net.network(), {});
+  crypto::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(zmap.build_probe(rng));
+}
+BENCHMARK(BM_ZmapProbeBuild);
+
+void BM_ZmapSweepPerTarget(benchmark::State& state) {
+  auto& f = fixture();
+  std::vector<netsim::IpAddress> targets{f.cloudflare_addr};
+  for (auto _ : state) {
+    scanner::ZmapQuicScanner zmap(f.net.network(), {});
+    benchmark::DoNotOptimize(zmap.scan(targets));
+  }
+}
+BENCHMARK(BM_ZmapSweepPerTarget);
+
+void BM_QuicHandshakeWithSni(benchmark::State& state) {
+  auto& f = fixture();
+  scanner::QScanner qscanner(f.net.network(), {});
+  scanner::QscanTarget target{f.cloudflare_addr, f.cloudflare_domain,
+                              {quic::kDraft29}};
+  for (auto _ : state) {
+    auto result = qscanner.scan_one(target);
+    if (result.outcome != scanner::QscanOutcome::kSuccess)
+      state.SkipWithError("handshake failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_QuicHandshakeWithSni);
+
+void BM_QuicHandshakeRejected(benchmark::State& state) {
+  auto& f = fixture();
+  scanner::QScanner qscanner(f.net.network(), {});
+  scanner::QscanTarget target{f.cloudflare_addr, std::nullopt,
+                              {quic::kDraft29}};
+  for (auto _ : state) {
+    auto result = qscanner.scan_one(target);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_QuicHandshakeRejected);
+
+void BM_TlsOverTcpHandshake(benchmark::State& state) {
+  auto& f = fixture();
+  scanner::TcpTlsScanner tcp(f.net.network(), {});
+  scanner::TcpTarget target{f.cloudflare_addr, f.cloudflare_domain};
+  for (auto _ : state) {
+    auto result = tcp.scan_one(target);
+    if (!result.handshake_ok) state.SkipWithError("handshake failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TlsOverTcpHandshake);
+
+}  // namespace
+
+BENCHMARK_MAIN();

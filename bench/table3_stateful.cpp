@@ -1,0 +1,101 @@
+// Table 3: stateful QScanner results over the combined sources, without
+// and with SNI, for IPv4 and IPv6 -- success/timeout/0x128/version-
+// mismatch shares -- plus Figure-8-style coverage notes.
+#include <cstdio>
+
+#include "common.h"
+
+namespace {
+
+void print_outcomes(const char* label, const bench::OutcomeShares& shares) {
+  using scanner::QscanOutcome;
+  std::printf("%s (targets: %s)\n", label,
+              analysis::num(shares.total).c_str());
+  analysis::Table table({"Outcome", "Count", "Share"});
+  for (auto outcome :
+       {QscanOutcome::kSuccess, QscanOutcome::kTimeout,
+        QscanOutcome::kCryptoError0x128, QscanOutcome::kVersionMismatch,
+        QscanOutcome::kOther}) {
+    auto it = shares.counts.find(outcome);
+    size_t count = it == shares.counts.end() ? 0 : it->second;
+    table.row({scanner::to_string(outcome), analysis::num(count),
+               analysis::pct(shares.share(outcome))});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Stateful scan results of combined sources (week 18)",
+      "Table 3 (paper IPv4 no-SNI: 7.25/34.50/48.26/8.83/1.16; "
+      "SNI: 76.06/11.09/5.73/5.77/1.35)");
+
+  auto discovery = bench::run_discovery(18);
+  scanner::QScanner qscanner(discovery.net->network(), {});
+
+  for (bool v6 : {false, true}) {
+    // No-SNI pass over every ZMap-found address with a compatible
+    // announced version.
+    auto no_sni = bench::assemble_no_sni_targets(discovery, v6);
+    std::vector<scanner::QscanTarget> filtered;
+    for (const auto& target : no_sni)
+      if (qscanner.compatible(target)) filtered.push_back(target);
+    auto results = qscanner.scan(filtered);
+    print_outcomes(v6 ? "IPv6, no SNI" : "IPv4, no SNI",
+                   bench::tally(results));
+
+    // AS coverage of successful no-SNI scans (Figure 8 flavor).
+    analysis::AsDistribution success_dist(
+        discovery.net->population().as_registry());
+    analysis::AsDistribution all_dist(
+        discovery.net->population().as_registry());
+    for (const auto& result : results) {
+      all_dist.add(result.target.address);
+      if (result.outcome == scanner::QscanOutcome::kSuccess)
+        success_dist.add(result.target.address);
+    }
+    std::printf(
+        "  successful targets still cover %zu of %zu seen ASes (%.1f %%; "
+        "paper: 93.1 %% v4 / 92.6 %% v6)\n\n",
+        success_dist.distinct_as(), all_dist.distinct_as(),
+        all_dist.distinct_as()
+            ? 100.0 * static_cast<double>(success_dist.distinct_as()) /
+                  static_cast<double>(all_dist.distinct_as())
+            : 0.0);
+
+    // SNI pass over the union of all three sources.
+    auto sni_targets = bench::assemble_sni_targets(discovery, v6);
+    std::vector<scanner::QscanTarget> sni_filtered;
+    for (const auto& target : sni_targets.combined)
+      if (qscanner.compatible(target)) sni_filtered.push_back(target);
+    auto sni_results = qscanner.scan(sni_filtered);
+    print_outcomes(v6 ? "IPv6, SNI" : "IPv4, SNI",
+                   bench::tally(sni_results));
+
+    // Address / AS concentration of successful SNI targets.
+    std::set<netsim::IpAddress> success_addrs;
+    analysis::AsDistribution sni_dist(
+        discovery.net->population().as_registry());
+    size_t cloudflare_targets = 0, successes = 0;
+    for (const auto& result : sni_results) {
+      if (result.outcome != scanner::QscanOutcome::kSuccess) continue;
+      ++successes;
+      if (success_addrs.insert(result.target.address).second)
+        sni_dist.add(result.target.address);
+      if (discovery.net->population().as_registry().asn_for(
+              result.target.address) == internet::kAsCloudflare)
+        ++cloudflare_targets;
+    }
+    std::printf(
+        "  successful SNI targets: %s over %s distinct addresses in %zu "
+        "ASes; %.1f %% of targets at Cloudflare (paper v4: 82.3 %%)\n\n",
+        analysis::num(successes).c_str(),
+        analysis::num(success_addrs.size()).c_str(), sni_dist.distinct_as(),
+        successes ? 100.0 * static_cast<double>(cloudflare_targets) /
+                        static_cast<double>(successes)
+                  : 0.0);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 4: individual stateful success rate per discovery source (the
+// sources overlap, so targets do not sum to the combined total).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  bench::print_header("Stateful success rate per input source (week 18)",
+                      "Table 4 (paper: ZMap+DNS 85.6/85.3 %, ALT-SVC "
+                      "85.2/84.9 %, HTTPS 77.6/77.0 %)");
+
+  auto discovery = bench::run_discovery(18);
+  scanner::QScanner qscanner(discovery.net->network(), {});
+
+  analysis::Table table(
+      {"Source", "Family", "Targets", "Success", "Rate"});
+  for (bool v6 : {false, true}) {
+    auto targets = bench::assemble_sni_targets(discovery, v6);
+    struct Source {
+      const char* name;
+      const std::vector<scanner::QscanTarget>* targets;
+    } sources[] = {
+        {"ZMAP + DNS", &targets.from_zmap_dns},
+        {"ALT-SVC", &targets.from_alt_svc},
+        {"HTTPS", &targets.from_https_rr},
+    };
+    for (const auto& source : sources) {
+      std::vector<scanner::QscanTarget> filtered;
+      for (const auto& target : *source.targets)
+        if (qscanner.compatible(target)) filtered.push_back(target);
+      auto results = qscanner.scan(filtered);
+      auto shares = bench::tally(results);
+      table.row({source.name, v6 ? "IPv6" : "IPv4",
+                 analysis::num(shares.total),
+                 analysis::num(
+                     shares.counts[scanner::QscanOutcome::kSuccess]),
+                 analysis::pct(
+                     shares.share(scanner::QscanOutcome::kSuccess), 1)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper shape check: ZMap+DNS and ALT-SVC land in the mid-80s; "
+              "the HTTPS-RR channel trails by ~8 points.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 5: share of hosts using identical TLS properties over QUIC and
+// TLS-over-TCP, for no-SNI and SNI scans, IPv4 and IPv6. Rows below the
+// TLS version are conditioned on the TCP handshake negotiating TLS 1.3.
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "TLS properties: QUIC vs TLS-over-TCP for the same target (week 18)",
+      "Table 5 (paper IPv4: cert 31.7/98.1, version 99.6/99.7, group "
+      "100/100, cipher 99.2/100, extensions 67.3/99.9)");
+
+  auto discovery = bench::run_discovery(18);
+  scanner::QScanner qscanner(discovery.net->network(), {});
+  scanner::TcpTlsScanner tcp(discovery.net->network(), {});
+
+  analysis::Table table({"Property", "IPv4 no SNI", "IPv4 SNI",
+                         "IPv6 no SNI", "IPv6 SNI"});
+  std::map<std::pair<bool, bool>, analysis::TlsComparison> comparisons;
+  std::map<std::pair<bool, bool>, std::pair<size_t, size_t>> success_counts;
+
+  for (bool v6 : {false, true}) {
+    for (bool with_sni : {false, true}) {
+      std::vector<scanner::QscanTarget> targets;
+      if (with_sni) {
+        targets = bench::assemble_sni_targets(discovery, v6).combined;
+      } else {
+        targets = bench::assemble_no_sni_targets(discovery, v6);
+      }
+      auto& comparison = comparisons[{v6, with_sni}];
+      auto& [quic_ok, tcp_ok] = success_counts[{v6, with_sni}];
+      for (const auto& target : targets) {
+        if (!qscanner.compatible(target)) continue;
+        auto quic_result = qscanner.scan_one(target);
+        auto tcp_result = tcp.scan_one({target.address, target.sni});
+        bool quic_success =
+            quic_result.outcome == scanner::QscanOutcome::kSuccess;
+        bool tcp_success = tcp_result.handshake_ok;
+        if (quic_success) ++quic_ok;
+        if (tcp_success) ++tcp_ok;
+        if (quic_success && tcp_success)
+          comparison.add(quic_result.report.tls, tcp_result.details);
+      }
+    }
+  }
+
+  auto cell = [&](bool v6, bool sni, auto member) {
+    return analysis::pct((comparisons[{v6, sni}].*member)(), 1);
+  };
+  using analysis::TlsComparison;
+  table.row({"Certificate", cell(false, false, &TlsComparison::same_certificate),
+             cell(false, true, &TlsComparison::same_certificate),
+             cell(true, false, &TlsComparison::same_certificate),
+             cell(true, true, &TlsComparison::same_certificate)});
+  table.row({"TLS Version", cell(false, false, &TlsComparison::same_version),
+             cell(false, true, &TlsComparison::same_version),
+             cell(true, false, &TlsComparison::same_version),
+             cell(true, true, &TlsComparison::same_version)});
+  table.row({"Key Exchange Group",
+             cell(false, false, &TlsComparison::same_group),
+             cell(false, true, &TlsComparison::same_group),
+             cell(true, false, &TlsComparison::same_group),
+             cell(true, true, &TlsComparison::same_group)});
+  table.row({"Cipher", cell(false, false, &TlsComparison::same_cipher),
+             cell(false, true, &TlsComparison::same_cipher),
+             cell(true, false, &TlsComparison::same_cipher),
+             cell(true, true, &TlsComparison::same_cipher)});
+  table.row({"Extensions",
+             cell(false, false, &TlsComparison::same_extensions),
+             cell(false, true, &TlsComparison::same_extensions),
+             cell(true, false, &TlsComparison::same_extensions),
+             cell(true, true, &TlsComparison::same_extensions)});
+  std::printf("%s\n", table.render().c_str());
+
+  for (bool v6 : {false, true}) {
+    auto [quic_ok, tcp_ok] = success_counts[{v6, false}];
+    std::printf(
+        "%s no-SNI: QUIC succeeded on %s targets, TLS-over-TCP on %s "
+        "(paper: TCP succeeds on 43-50 %% while QUIC lands at 7-28 %%)\n",
+        v6 ? "IPv6" : "IPv4", analysis::num(quic_ok).c_str(),
+        analysis::num(tcp_ok).c_str());
+  }
+  std::printf(
+      "\nPaper shape check: near-total agreement with SNI; the no-SNI "
+      "certificate row collapses because Google serves a self-signed "
+      "placeholder on TCP but a valid certificate on QUIC.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Table 6: top HTTP Server header values by the number of ASes with at
+// least one target returning the value, with target counts and the
+// number of distinct transport-parameter configurations seen alongside
+// -- the paper's edge-POP fingerprinting evidence (section 5.2).
+#include <cstdio>
+
+#include "common.h"
+
+int main() {
+  bench::print_header(
+      "Top HTTP Server values from successful QUIC scans (week 18)",
+      "Table 6 (paper: proxygen-bolt 2224 ASes/4 configs, gvs 1.0 "
+      "1537/1, LiteSpeed 238/2, nginx 156/16, Caddy 105/1)");
+
+  auto discovery = bench::run_discovery(18);
+  scanner::QScanner qscanner(discovery.net->network(), {});
+  const auto& registry = discovery.net->population().as_registry();
+
+  struct ServerStats {
+    std::set<uint32_t> ases;
+    size_t targets = 0;
+    std::set<std::string> tp_configs;
+  };
+  std::map<std::string, ServerStats> by_server;
+  std::map<std::pair<bool, bool>, std::pair<size_t, size_t>> head_rates;
+
+  auto ingest = [&](const std::vector<scanner::QscanResult>& results,
+                    bool v6, bool with_sni) {
+    for (const auto& result : results) {
+      if (result.outcome != scanner::QscanOutcome::kSuccess) continue;
+      auto& [ok, total] = head_rates[{v6, with_sni}];
+      ++total;
+      if (result.http_ok) ++ok;
+      if (!result.server_header) continue;
+      auto& stats = by_server[*result.server_header];
+      stats.ases.insert(registry.asn_for(result.target.address));
+      ++stats.targets;
+      stats.tp_configs.insert(
+          result.report.server_transport_params.config_key());
+    }
+  };
+
+  for (bool v6 : {false, true}) {
+    auto no_sni = bench::assemble_no_sni_targets(discovery, v6);
+    std::vector<scanner::QscanTarget> filtered;
+    for (const auto& target : no_sni)
+      if (qscanner.compatible(target)) filtered.push_back(target);
+    ingest(qscanner.scan(filtered), v6, false);
+
+    auto sni = bench::assemble_sni_targets(discovery, v6);
+    filtered.clear();
+    for (const auto& target : sni.combined)
+      if (qscanner.compatible(target)) filtered.push_back(target);
+    ingest(qscanner.scan(filtered), v6, true);
+  }
+
+  std::vector<std::pair<std::string, ServerStats>> ranked(by_server.begin(),
+                                                          by_server.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second.ases.size() > b.second.ases.size();
+  });
+
+  analysis::Table table({"Server Value", "#ASes", "#Targets", "#Parameters"});
+  int rank = 0;
+  for (const auto& [value, stats] : ranked) {
+    if (++rank > 10) break;
+    table.row({value, analysis::num(stats.ases.size()),
+               analysis::num(stats.targets),
+               analysis::num(stats.tp_configs.size())});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // "nginx" as substring: the paper counts 17 configurations across
+  // the nginx family.
+  std::set<std::string> nginx_configs;
+  size_t nginx_targets = 0;
+  for (const auto& [value, stats] : by_server) {
+    if (value.find("nginx") == std::string::npos) continue;
+    nginx_configs.insert(stats.tp_configs.begin(), stats.tp_configs.end());
+    nginx_targets += stats.targets;
+  }
+  std::printf("'nginx' as substring: %s targets, %zu distinct transport-"
+              "parameter configurations (paper: 17)\n",
+              analysis::num(nginx_targets).c_str(), nginx_configs.size());
+  std::printf("\nHTTP HEAD success among successful handshakes (paper "
+              "section 5.2:\nv4 SNI 95.8 %%, v4 no-SNI 70.4 %%, v6 SNI "
+              "96.1 %%, v6 no-SNI 62.2 %%):\n");
+  for (auto [key, counts] : head_rates) {
+    auto [v6, with_sni] = key;
+    auto [ok, total] = counts;
+    std::printf("  %s %-7s %s of %s (%s)\n", v6 ? "IPv6" : "IPv4",
+                with_sni ? "SNI" : "no-SNI", analysis::num(ok).c_str(),
+                analysis::num(total).c_str(),
+                analysis::pct(total ? 100.0 * static_cast<double>(ok) /
+                                          static_cast<double>(total)
+                                    : 0.0,
+                              1)
+                    .c_str());
+  }
+  std::printf("\nPaper shape check: proxygen-bolt and gvs 1.0 span far more "
+              "ASes than their home networks -- the edge-POP signature.\n");
+  return 0;
+}

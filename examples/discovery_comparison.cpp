@@ -1,0 +1,92 @@
+// Discovery-method comparison: runs the paper's three QUIC discovery
+// channels -- ZMap forced version negotiation, TLS-over-TCP Alt-Svc
+// headers, and HTTPS DNS resource records -- over the same synthetic
+// internet and shows what each one uniquely contributes (section 4).
+//
+//   ./build/examples/discovery_comparison [week]
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+#include "analysis/stats.h"
+#include "http/alpn.h"
+#include "internet/internet.h"
+#include "scanner/dns_scan.h"
+#include "scanner/tcp_tls.h"
+#include "scanner/zmap.h"
+
+int main(int argc, char** argv) {
+  int week = argc > 1 ? std::atoi(argv[1]) : 18;
+  netsim::EventLoop loop;
+  internet::Internet internet({.dns_corpus_scale = 0.02}, week, loop);
+  const auto& pop = internet.population();
+  std::printf("synthetic internet, calendar week %d: %zu hosts\n\n", week,
+              pop.hosts().size());
+
+  // Channel 1: ZMap sweep.
+  scanner::ZmapQuicScanner zmap(internet.network(), {});
+  std::set<netsim::IpAddress> zmap_addrs;
+  for (const auto& hit : zmap.scan(internet.zmap_candidates_v4()))
+    zmap_addrs.insert(hit.address);
+  for (const auto& hit : zmap.scan(internet.ipv6_hitlist()))
+    zmap_addrs.insert(hit.address);
+  std::printf("[zmap]    %zu addresses via forced version negotiation\n",
+              zmap_addrs.size());
+
+  // Channel 2: Alt-Svc from TLS-over-TCP (one connection per domain).
+  scanner::TcpTlsScanner tcp(internet.network(), {});
+  std::set<netsim::IpAddress> alt_svc_addrs;
+  for (const auto& domain : pop.domains()) {
+    for (auto* hosts : {&domain.v4_hosts, &domain.v6_hosts}) {
+      if (hosts->empty()) continue;
+      const auto& host = pop.hosts()[(*hosts)[0]];
+      auto result = tcp.scan_one({host.address, domain.name});
+      for (const auto& entry : result.alt_svc)
+        if (http::alpn_implies_quic(entry.alpn))
+          alt_svc_addrs.insert(host.address);
+    }
+  }
+  std::printf("[alt-svc] %zu addresses via HTTP Alt-Svc headers\n",
+              alt_svc_addrs.size());
+
+  // Channel 3: HTTPS DNS RRs (one recursive query per domain).
+  scanner::DnsScanner dns(internet.zones());
+  std::set<netsim::IpAddress> https_addrs;
+  for (const char* list : {"alexa", "czds"}) {
+    auto scan = dns.scan_list(list, internet.list_corpus(list));
+    for (const auto& record : scan.records)
+      for (const auto& svcb : record.https) {
+        https_addrs.insert(svcb.ipv4_hints.begin(), svcb.ipv4_hints.end());
+        https_addrs.insert(svcb.ipv6_hints.begin(), svcb.ipv6_hints.end());
+      }
+  }
+  std::printf("[https]   %zu addresses via HTTPS DNS RR hints "
+              "(%llu DNS queries)\n\n",
+              https_addrs.size(),
+              static_cast<unsigned long long>(dns.queries_sent()));
+
+  // What does each channel see that the others miss?
+  auto unique_to = [&](const std::set<netsim::IpAddress>& mine,
+                       const std::set<netsim::IpAddress>& other_a,
+                       const std::set<netsim::IpAddress>& other_b) {
+    size_t n = 0;
+    for (const auto& addr : mine)
+      if (!other_a.contains(addr) && !other_b.contains(addr)) ++n;
+    return n;
+  };
+  std::printf("unique to zmap:    %zu (deployments without known domains)\n",
+              unique_to(zmap_addrs, alt_svc_addrs, https_addrs));
+  std::printf("unique to alt-svc: %zu (deployments ignoring forced VN, "
+              "e.g. Hostinger's fleet)\n",
+              unique_to(alt_svc_addrs, zmap_addrs, https_addrs));
+  std::printf("unique to https:   %zu (addresses DNS rotated away from "
+              "the sweep)\n",
+              unique_to(https_addrs, zmap_addrs, alt_svc_addrs));
+
+  std::printf("\ncost comparison (probe traffic):\n");
+  std::printf("  zmap:    %llu bytes of padded UDP probes\n",
+              static_cast<unsigned long long>(zmap.stats().bytes_sent));
+  std::printf("  https:   one recursive DNS query per domain -- the "
+              "lightweight channel the paper hopes wins long-term\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Interop matrix: handshake compatibility between scanner builds and
+// the implementation profiles deployed on the synthetic internet --
+// the flavor of the QUIC Interop Runner the paper uses to justify
+// trusting a quic-go-based scanner (section 3.4, reference [42]).
+//
+//   ./build/examples/interop_matrix
+#include <cstdio>
+#include <map>
+
+#include "internet/internet.h"
+#include "scanner/qscanner.h"
+
+int main() {
+  netsim::EventLoop loop;
+  internet::Internet internet({.dns_corpus_scale = 0.01}, 18, loop);
+  const auto& pop = internet.population();
+
+  // One representative (host, hosted-domain) pair per implementation
+  // profile that completes handshakes.
+  struct Row {
+    std::string label;
+    netsim::IpAddress address;
+    std::string sni;
+    std::vector<quic::Version> advertised;
+  };
+  std::map<std::string, Row> rows;
+  for (const auto& domain : pop.domains()) {
+    if (domain.v4_hosts.empty()) continue;
+    const auto& host = pop.hosts()[domain.v4_hosts[0]];
+    if (!host.domain_ids.contains(domain.id)) continue;
+    if (host.server_value.empty() || host.stall_handshake) continue;
+    if (rows.contains(host.server_value)) continue;
+    rows.emplace(host.server_value,
+                 Row{host.server_value, host.address, domain.name,
+                     host.advertised_versions});
+    if (rows.size() >= 8) break;
+  }
+
+  struct Build {
+    const char* label;
+    std::vector<quic::Version> versions;
+  } builds[] = {
+      {"d27", {quic::kDraft27}},
+      {"d29", {quic::kDraft29}},
+      {"29/32/34", {quic::kDraft29, quic::kDraft32, quic::kDraft34}},
+      {"v1", {quic::kVersion1}},
+  };
+
+  std::printf("%-28s", "server implementation");
+  for (const auto& build : builds) std::printf("%-10s", build.label);
+  std::printf("\n");
+  for (size_t i = 0; i < 28 + 10 * std::size(builds); ++i)
+    std::printf("-");
+  std::printf("\n");
+
+  for (const auto& [label, row] : rows) {
+    std::printf("%-28s", label.c_str());
+    for (const auto& build : builds) {
+      scanner::QscanOptions options;
+      options.supported_versions = build.versions;
+      scanner::QScanner qscanner(internet.network(), options);
+      scanner::QscanTarget target{row.address, row.sni, row.advertised};
+      const char* cell;
+      if (!qscanner.compatible(target)) {
+        cell = "-";  // pre-filtered: no common version announced
+      } else {
+        auto result = qscanner.scan_one(target);
+        cell = result.outcome == scanner::QscanOutcome::kSuccess ? "OK"
+                                                                 : "FAIL";
+      }
+      std::printf("%-10s", cell);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n'-' = scanner pre-filters the target (no announced version in\n"
+      "common); FAIL = attempted handshake did not complete. The paper's\n"
+      "QScanner relied on quic-go's interop record to expect the OK column\n"
+      "it got -- and this matrix shows why draft-29 support was the one\n"
+      "that mattered in week 18.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Longitudinal tracking: replay the measurement weeks and watch the
+// standardization land -- Cloudflare flipping "Version 1" on before RFC
+// 9000 shipped, Akamai adding draft-29 next to gQUIC, and HTTPS DNS RR
+// adoption creeping up (sections 4.2 and 7).
+//
+//   ./build/examples/weekly_tracking
+#include <cstdio>
+
+#include "internet/internet.h"
+#include "scanner/dns_scan.h"
+#include "scanner/zmap.h"
+
+int main() {
+  std::printf("week  addrs   ietf-01  draft-29  gQUIC    https-rr(alexa)\n");
+  std::printf("--------------------------------------------------------\n");
+  for (int week : {5, 7, 9, 11, 14, 15, 16, 18}) {
+    netsim::EventLoop loop;
+    internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
+
+    scanner::ZmapQuicScanner zmap(internet.network(), {});
+    auto hits = zmap.scan(internet.zmap_candidates_v4());
+    size_t v1 = 0, d29 = 0, gquic = 0;
+    for (const auto& hit : hits) {
+      bool has_v1 = false, has_d29 = false, has_g = false;
+      for (quic::Version v : hit.versions) {
+        if (v == quic::kVersion1) has_v1 = true;
+        if (v == quic::kDraft29) has_d29 = true;
+        if (quic::is_google(v)) has_g = true;
+      }
+      v1 += has_v1;
+      d29 += has_d29;
+      gquic += has_g;
+    }
+
+    scanner::DnsScanner dns(internet.zones());
+    auto alexa = dns.scan_list("alexa", internet.list_corpus("alexa"));
+
+    auto share = [&](size_t n) {
+      return hits.empty() ? 0.0
+                          : 100.0 * static_cast<double>(n) /
+                                static_cast<double>(hits.size());
+    };
+    std::printf("%4d  %5zu   %5.1f %%  %5.1f %%   %5.1f %%  %5.1f %%\n",
+                week, hits.size(), share(v1), share(d29), share(gquic),
+                100.0 * alexa.https_rr_rate());
+  }
+  std::printf(
+      "\nWhat to look for (paper, Figures 3/5/6): draft-29 climbing towards\n"
+      "~96 %%, 'ietf-01' appearing before the RFC shipped (Cloudflare\n"
+      "turned it on in week 16 despite draft 34's 'do not deploy' label),\n"
+      "half the addresses still announcing gQUIC, and HTTPS-RR adoption\n"
+      "rising every week.\n");
+  return 0;
+}

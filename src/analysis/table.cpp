@@ -1,0 +1,62 @@
+#include "analysis/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_)
+    for (size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      line += cells[i];
+      line.append(widths[i] - cells[i].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  size_t total_width = 0;
+  for (size_t w : widths) total_width += w + 2;
+  out.append(total_width - 2, '-');
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string pct(double value, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f %%", decimals, value);
+  return buf;
+}
+
+std::string num(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int counter = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (counter && counter % 3 == 0) out.push_back(' ');
+    out.push_back(*it);
+    ++counter;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace analysis

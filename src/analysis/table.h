@@ -1,0 +1,27 @@
+// Fixed-width text table renderer used by every bench binary to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.34 %" style formatting.
+std::string pct(double value, int decimals = 2);
+/// Thousands-separated integer ("2 134 964" style, as the paper).
+std::string num(uint64_t value);
+
+}  // namespace analysis

@@ -1,0 +1,292 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace crypto {
+
+namespace {
+
+// S-box generated from the AES affine transform; stored literal for clarity.
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr uint8_t kRcon[10] = {0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+
+inline uint8_t xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+}  // namespace
+
+namespace {
+
+// Combined SubBytes+MixColumns T-table (encryption direction), built
+// once at startup: T0[b] = MixColumn(Sbox[b] placed in lane 0); the
+// other lanes are byte rotations of T0.
+struct TTables {
+  uint32_t t0[256];
+  TTables() {
+    for (int b = 0; b < 256; ++b) {
+      uint8_t s = kSbox[b];
+      uint8_t s2 = xtime(s);
+      uint8_t s3 = static_cast<uint8_t>(s2 ^ s);
+      // Column (2s, s, s, 3s) packed big-endian.
+      t0[b] = static_cast<uint32_t>(s2) << 24 |
+              static_cast<uint32_t>(s) << 16 |
+              static_cast<uint32_t>(s) << 8 | s3;
+    }
+  }
+};
+
+inline uint32_t rotr8(uint32_t x) { return x >> 8 | x << 24; }
+
+}  // namespace
+
+Aes128::Aes128(std::span<const uint8_t> key) {
+  if (key.size() != kAes128KeySize)
+    throw std::invalid_argument("Aes128: key must be 16 bytes");
+  std::memcpy(round_keys_[0].data(), key.data(), 16);
+  for (int r = 1; r <= 10; ++r) {
+    const auto& prev = round_keys_[r - 1];
+    auto& rk = round_keys_[r];
+    // RotWord + SubWord + Rcon on the last word of the previous key.
+    uint8_t t[4] = {static_cast<uint8_t>(kSbox[prev[13]] ^ kRcon[r - 1]),
+                    kSbox[prev[14]], kSbox[prev[15]], kSbox[prev[12]]};
+    for (int i = 0; i < 4; ++i) rk[i] = prev[i] ^ t[i];
+    for (int i = 4; i < 16; ++i) rk[i] = prev[i] ^ rk[i - 4];
+  }
+}
+
+void Aes128::encrypt_block(const uint8_t* in, uint8_t* out) const {
+  // T-table implementation: each round is 16 table lookups + xors.
+  static const TTables kT;
+  auto load_col = [](const uint8_t* p) {
+    return static_cast<uint32_t>(p[0]) << 24 |
+           static_cast<uint32_t>(p[1]) << 16 |
+           static_cast<uint32_t>(p[2]) << 8 | p[3];
+  };
+  auto rk_col = [&](int round, int c) {
+    return load_col(round_keys_[static_cast<size_t>(round)].data() + 4 * c);
+  };
+  uint32_t c0 = load_col(in) ^ rk_col(0, 0);
+  uint32_t c1 = load_col(in + 4) ^ rk_col(0, 1);
+  uint32_t c2 = load_col(in + 8) ^ rk_col(0, 2);
+  uint32_t c3 = load_col(in + 12) ^ rk_col(0, 3);
+  for (int round = 1; round <= 9; ++round) {
+    // Column i draws bytes from columns i, i+1, i+2, i+3 (ShiftRows).
+    uint32_t n0 = kT.t0[c0 >> 24] ^ rotr8(kT.t0[(c1 >> 16) & 0xff]) ^
+                  rotr8(rotr8(kT.t0[(c2 >> 8) & 0xff])) ^
+                  rotr8(rotr8(rotr8(kT.t0[c3 & 0xff])));
+    uint32_t n1 = kT.t0[c1 >> 24] ^ rotr8(kT.t0[(c2 >> 16) & 0xff]) ^
+                  rotr8(rotr8(kT.t0[(c3 >> 8) & 0xff])) ^
+                  rotr8(rotr8(rotr8(kT.t0[c0 & 0xff])));
+    uint32_t n2 = kT.t0[c2 >> 24] ^ rotr8(kT.t0[(c3 >> 16) & 0xff]) ^
+                  rotr8(rotr8(kT.t0[(c0 >> 8) & 0xff])) ^
+                  rotr8(rotr8(rotr8(kT.t0[c1 & 0xff])));
+    uint32_t n3 = kT.t0[c3 >> 24] ^ rotr8(kT.t0[(c0 >> 16) & 0xff]) ^
+                  rotr8(rotr8(kT.t0[(c1 >> 8) & 0xff])) ^
+                  rotr8(rotr8(rotr8(kT.t0[c2 & 0xff])));
+    c0 = n0 ^ rk_col(round, 0);
+    c1 = n1 ^ rk_col(round, 1);
+    c2 = n2 ^ rk_col(round, 2);
+    c3 = n3 ^ rk_col(round, 3);
+  }
+  // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+  uint8_t s[16];
+  auto store = [&](int c, uint32_t a, uint32_t b, uint32_t cc, uint32_t d) {
+    s[4 * c] = kSbox[a >> 24];
+    s[4 * c + 1] = kSbox[(b >> 16) & 0xff];
+    s[4 * c + 2] = kSbox[(cc >> 8) & 0xff];
+    s[4 * c + 3] = kSbox[d & 0xff];
+  };
+  store(0, c0, c1, c2, c3);
+  store(1, c1, c2, c3, c0);
+  store(2, c2, c3, c0, c1);
+  store(3, c3, c0, c1, c2);
+  for (int i = 0; i < 16; ++i) out[i] = s[i] ^ round_keys_[10][i];
+}
+
+std::array<uint8_t, kAesBlockSize> Aes128::encrypt_block(
+    std::span<const uint8_t> block) const {
+  if (block.size() != kAesBlockSize)
+    throw std::invalid_argument("Aes128: block must be 16 bytes");
+  std::array<uint8_t, kAesBlockSize> out;
+  encrypt_block(block.data(), out.data());
+  return out;
+}
+
+namespace {
+
+// GF(2^128) multiply, bit-by-bit (right-shift formulation from SP
+// 800-38D). Only used at key setup to build the 4-bit table.
+using Block = std::array<uint8_t, 16>;
+
+Block gf_mult(const Block& x, const Block& y) {
+  Block z{};
+  Block v = y;
+  for (int i = 0; i < 128; ++i) {
+    if (x[i / 8] >> (7 - i % 8) & 1) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    bool lsb = v[15] & 1;
+    for (int j = 15; j > 0; --j)
+      v[j] = static_cast<uint8_t>(v[j] >> 1 | v[j - 1] << 7);
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  return z;
+}
+
+void put_u64be(uint8_t* p, uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * (7 - i)));
+}
+
+// Reduction constants for shifting a GHASH state right by 4 bits
+// (Shoup's method): kReduce4[n] = n * x^128 mod the GCM polynomial,
+// folded into the top 16 bits.
+constexpr uint16_t kReduce4[16] = {
+    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
+    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+
+}  // namespace
+
+Aes128Gcm::Aes128Gcm(std::span<const uint8_t> key) : aes_(key) {
+  Block zero{};
+  aes_.encrypt_block(zero.data(), h_.data());
+  // htable_[n] = (n << 124 as a GF(2^128) element) * H.
+  for (int n = 0; n < 16; ++n) {
+    Block x{};
+    x[0] = static_cast<uint8_t>(n << 4);
+    htable_[static_cast<size_t>(n)] = gf_mult(x, h_);
+  }
+}
+
+void Aes128Gcm::ghash_mul(Block& x) const {
+  // Horner evaluation over the 32 nibbles of x, highest exponent first
+  // (low nibble of byte 15): z = (z * x^4) + htable_[nibble] per step,
+  // where the x^4 shift drops 4 bits that fold back via kReduce4.
+  Block z{};
+  bool first = true;
+  for (int i = 15; i >= 0; --i) {
+    for (int shift = 0; shift <= 4; shift += 4) {
+      // Low nibble first (shift=0), then high nibble (shift=4).
+      uint8_t nibble =
+          static_cast<uint8_t>((x[static_cast<size_t>(i)] >> shift) & 0xf);
+      if (!first) {
+        uint8_t dropped = z[15] & 0xf;
+        for (int j = 15; j > 0; --j)
+          z[static_cast<size_t>(j)] = static_cast<uint8_t>(
+              z[static_cast<size_t>(j)] >> 4 |
+              z[static_cast<size_t>(j - 1)] << 4);
+        z[0] >>= 4;
+        uint16_t r = kReduce4[dropped];
+        z[0] ^= static_cast<uint8_t>(r >> 8);
+        z[1] ^= static_cast<uint8_t>(r);
+      }
+      first = false;
+      const Block& t = htable_[nibble];
+      for (int j = 0; j < 16; ++j)
+        z[static_cast<size_t>(j)] ^= t[static_cast<size_t>(j)];
+    }
+  }
+  x = z;
+}
+
+Aes128Gcm::Block Aes128Gcm::ghash(std::span<const uint8_t> aad,
+                                  std::span<const uint8_t> ct) const {
+  Block y{};
+  auto absorb = [&](std::span<const uint8_t> data) {
+    for (size_t off = 0; off < data.size(); off += 16) {
+      size_t n = std::min<size_t>(16, data.size() - off);
+      for (size_t i = 0; i < n; ++i) y[i] ^= data[off + i];
+      ghash_mul(y);
+    }
+  };
+  absorb(aad);
+  absorb(ct);
+  Block lens{};
+  put_u64be(lens.data(), aad.size() * 8);
+  put_u64be(lens.data() + 8, ct.size() * 8);
+  for (int i = 0; i < 16; ++i) y[i] ^= lens[i];
+  ghash_mul(y);
+  return y;
+}
+
+void Aes128Gcm::ctr_xor(const Block& initial_counter,
+                        std::span<const uint8_t> in, uint8_t* out) const {
+  Block counter = initial_counter;
+  Block keystream;
+  for (size_t off = 0; off < in.size(); off += 16) {
+    // Increment the low 32 bits (inc32).
+    for (int i = 15; i >= 12; --i)
+      if (++counter[i] != 0) break;
+    aes_.encrypt_block(counter.data(), keystream.data());
+    size_t n = std::min<size_t>(16, in.size() - off);
+    for (size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
+  }
+}
+
+std::vector<uint8_t> Aes128Gcm::seal(std::span<const uint8_t> nonce,
+                                     std::span<const uint8_t> aad,
+                                     std::span<const uint8_t> plaintext) const {
+  if (nonce.size() != kGcmIvSize)
+    throw std::invalid_argument("Aes128Gcm: nonce must be 12 bytes");
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), 12);
+  j0[15] = 1;
+  std::vector<uint8_t> out(plaintext.size() + kGcmTagSize);
+  ctr_xor(j0, plaintext, out.data());
+  Block s = ghash(aad, {out.data(), plaintext.size()});
+  Block ek_j0;
+  aes_.encrypt_block(j0.data(), ek_j0.data());
+  for (int i = 0; i < 16; ++i)
+    out[plaintext.size() + static_cast<size_t>(i)] = s[static_cast<size_t>(i)] ^ ek_j0[static_cast<size_t>(i)];
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> Aes128Gcm::open(
+    std::span<const uint8_t> nonce, std::span<const uint8_t> aad,
+    std::span<const uint8_t> ct_and_tag) const {
+  if (nonce.size() != kGcmIvSize || ct_and_tag.size() < kGcmTagSize)
+    return std::nullopt;
+  auto ct = ct_and_tag.first(ct_and_tag.size() - kGcmTagSize);
+  auto tag = ct_and_tag.last(kGcmTagSize);
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), 12);
+  j0[15] = 1;
+  Block s = ghash(aad, ct);
+  Block ek_j0;
+  aes_.encrypt_block(j0.data(), ek_j0.data());
+  uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i)
+    diff |= static_cast<uint8_t>((s[static_cast<size_t>(i)] ^ ek_j0[static_cast<size_t>(i)]) ^ tag[static_cast<size_t>(i)]);
+  if (diff != 0) return std::nullopt;
+  std::vector<uint8_t> out(ct.size());
+  ctr_xor(j0, ct, out.data());
+  return out;
+}
+
+}  // namespace crypto

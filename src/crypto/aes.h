@@ -1,0 +1,69 @@
+// AES-128 block cipher (FIPS 197) and AES-128-GCM (NIST SP 800-38D),
+// from scratch. QUIC's Initial packet protection (RFC 9001 section 5)
+// mandates AES-128-GCM for payload protection and the raw AES-128 block
+// function for header protection, so a faithful QScanner needs both.
+//
+// This is a straightforward table-free implementation; it is not
+// constant-time and must never be used outside this simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace crypto {
+
+inline constexpr size_t kAesBlockSize = 16;
+inline constexpr size_t kAes128KeySize = 16;
+inline constexpr size_t kGcmTagSize = 16;
+inline constexpr size_t kGcmIvSize = 12;
+
+/// AES-128 with a fixed expanded key schedule. Encrypt-only: GCM's CTR
+/// mode and QUIC header protection only ever use the forward direction.
+class Aes128 {
+ public:
+  explicit Aes128(std::span<const uint8_t> key);
+
+  /// Encrypts one 16-byte block in place (out may alias in).
+  void encrypt_block(const uint8_t* in, uint8_t* out) const;
+
+  std::array<uint8_t, kAesBlockSize> encrypt_block(
+      std::span<const uint8_t> block) const;
+
+ private:
+  std::array<std::array<uint8_t, 16>, 11> round_keys_{};
+};
+
+/// AES-128-GCM authenticated encryption. 12-byte nonce, 16-byte tag.
+class Aes128Gcm {
+ public:
+  explicit Aes128Gcm(std::span<const uint8_t> key);
+
+  /// Returns ciphertext || tag (plaintext.size() + 16 bytes).
+  std::vector<uint8_t> seal(std::span<const uint8_t> nonce,
+                            std::span<const uint8_t> aad,
+                            std::span<const uint8_t> plaintext) const;
+
+  /// Returns plaintext, or nullopt if the tag does not verify.
+  std::optional<std::vector<uint8_t>> open(
+      std::span<const uint8_t> nonce, std::span<const uint8_t> aad,
+      std::span<const uint8_t> ciphertext_and_tag) const;
+
+ private:
+  using Block = std::array<uint8_t, kAesBlockSize>;
+  Block ghash(std::span<const uint8_t> aad,
+              std::span<const uint8_t> ciphertext) const;
+  void ghash_mul(Block& x) const;  // x = x * H via the 4-bit table
+  void ctr_xor(const Block& initial_counter, std::span<const uint8_t> in,
+               uint8_t* out) const;
+
+  Aes128 aes_;
+  Block h_{};  // GHASH subkey: AES_K(0^128)
+  // Shoup 4-bit table: htable_[n] = (n as 4-bit poly) * H. Precomputed
+  // per key; turns the 128-step bit loop into 32 table lookups.
+  std::array<Block, 16> htable_{};
+};
+
+}  // namespace crypto

@@ -1,0 +1,123 @@
+#include "dns/resolver.h"
+
+namespace dns {
+
+void ZoneStore::add(ResourceRecord rr) {
+  rr.name = normalize_name(rr.name);
+  auto key = std::make_pair(rr.name, rr.type);
+  names_[rr.name] = true;
+  rrs_[key].push_back(std::move(rr));
+  ++total_records_;
+}
+
+std::vector<ResourceRecord> ZoneStore::lookup(const std::string& name,
+                                              RRType type) const {
+  auto it = rrs_.find({normalize_name(name), type});
+  if (it == rrs_.end()) return {};
+  return it->second;
+}
+
+bool ZoneStore::name_exists(const std::string& name) const {
+  return names_.contains(normalize_name(name));
+}
+
+std::vector<uint8_t> ZoneStore::serve(std::span<const uint8_t> query) const {
+  Message request = decode_message(query);
+  Message response;
+  response.id = request.id;
+  response.is_response = true;
+  response.recursion_available = true;
+  response.questions = request.questions;
+  if (request.questions.size() != 1) {
+    response.rcode = RCode::kFormErr;
+    return encode_message(response);
+  }
+  const auto& q = request.questions[0];
+  auto records = lookup(q.name, q.type);
+  if (records.empty()) {
+    // CNAME at the name redirects any type.
+    auto cnames = lookup(q.name, RRType::kCname);
+    if (!cnames.empty()) {
+      response.answers = cnames;
+    } else {
+      response.rcode = name_exists(q.name) ? RCode::kNoError  // NODATA
+                                           : RCode::kNxDomain;
+    }
+  } else {
+    response.answers = std::move(records);
+  }
+  return encode_message(response);
+}
+
+std::vector<netsim::IpAddress> ResolveResult::addresses() const {
+  std::vector<netsim::IpAddress> out;
+  for (const auto& rr : answers) {
+    if (const auto* a = std::get_if<ARecord>(&rr.data))
+      out.push_back(a->address);
+    else if (const auto* aaaa = std::get_if<AaaaRecord>(&rr.data))
+      out.push_back(aaaa->address);
+  }
+  return out;
+}
+
+std::vector<SvcbData> ResolveResult::svcb() const {
+  std::vector<SvcbData> out;
+  for (const auto& rr : answers)
+    if (const auto* s = std::get_if<SvcbData>(&rr.data)) out.push_back(*s);
+  return out;
+}
+
+ResolveResult Resolver::resolve(const std::string& name, RRType type) {
+  ResolveResult result;
+  std::string current = normalize_name(name);
+  // Unbound-style CNAME chasing -- plus SVCB/HTTPS AliasMode chasing
+  // (draft-ietf-dnsop-svcb-https section 2.4.2: priority 0 redirects
+  // the whole lookup to the alias target). Both are depth-bounded.
+  for (int depth = 0; depth < 8; ++depth) {
+    Message query;
+    query.id = next_id_++;
+    query.questions.push_back({current, type});
+    ++queries_sent_;
+    auto response_bytes = zones_.serve(encode_message(query));
+    Message response = decode_message(response_bytes);
+    result.rcode = response.rcode;
+    if (response.rcode != RCode::kNoError) return result;
+    bool followed = false;
+    for (auto& rr : response.answers) {
+      if (rr.type == RRType::kCname && type != RRType::kCname) {
+        current = std::get<CnameRecord>(rr.data).target;
+        followed = true;
+      } else if ((rr.type == RRType::kSvcb || rr.type == RRType::kHttps)) {
+        const auto& svcb = std::get<SvcbData>(rr.data);
+        if (svcb.alias_mode() && svcb.target != ".") {
+          current = normalize_name(svcb.target);
+          followed = true;
+          // The AliasMode record itself is not a usable endpoint; keep
+          // it out of the answer set the caller consumes.
+          continue;
+        }
+      }
+      result.answers.push_back(std::move(rr));
+    }
+    if (!followed) return result;
+  }
+  result.rcode = RCode::kServFail;  // alias/CNAME chain too deep
+  return result;
+}
+
+std::vector<BulkRecord> BulkResolver::resolve_all(
+    const std::vector<std::string>& domains) {
+  std::vector<BulkRecord> out;
+  out.reserve(domains.size());
+  for (const auto& domain : domains) {
+    BulkRecord record;
+    record.domain = normalize_name(domain);
+    record.a = resolver_.resolve(domain, RRType::kA).addresses();
+    record.aaaa = resolver_.resolve(domain, RRType::kAaaa).addresses();
+    record.https = resolver_.resolve(domain, RRType::kHttps).svcb();
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+}  // namespace dns

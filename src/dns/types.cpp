@@ -1,0 +1,28 @@
+#include "dns/types.h"
+
+#include <cctype>
+
+namespace dns {
+
+std::string rrtype_name(RRType type) {
+  switch (type) {
+    case RRType::kA: return "A";
+    case RRType::kCname: return "CNAME";
+    case RRType::kTxt: return "TXT";
+    case RRType::kAaaa: return "AAAA";
+    case RRType::kSvcb: return "SVCB";
+    case RRType::kHttps: return "HTTPS";
+  }
+  return "TYPE" + std::to_string(static_cast<uint16_t>(type));
+}
+
+std::string normalize_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) out.push_back(static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c))));
+  if (!out.empty() && out.back() == '.') out.pop_back();
+  return out;
+}
+
+}  // namespace dns

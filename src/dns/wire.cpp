@@ -1,0 +1,234 @@
+#include "dns/wire.h"
+
+namespace dns {
+
+void encode_name(wire::Writer& w, const std::string& name) {
+  std::string normalized = normalize_name(name);
+  size_t pos = 0;
+  while (pos < normalized.size()) {
+    size_t dot = normalized.find('.', pos);
+    size_t end = dot == std::string::npos ? normalized.size() : dot;
+    size_t len = end - pos;
+    if (len == 0 || len > 63)
+      throw std::invalid_argument("bad DNS label length");
+    w.u8(static_cast<uint8_t>(len));
+    w.str(std::string_view(normalized).substr(pos, len));
+    pos = end + 1;
+    if (dot == std::string::npos) break;
+  }
+  w.u8(0);
+}
+
+std::string decode_name(wire::Reader& r, std::span<const uint8_t> whole) {
+  std::string out;
+  int jumps = 0;
+  // After the first compression pointer the reader is already past the
+  // name; further labels are read from `whole` at the pointed offset.
+  std::optional<size_t> cursor;
+  auto next_u8 = [&]() -> uint8_t {
+    if (!cursor) return r.u8();
+    if (*cursor >= whole.size()) throw wire::DecodeError("name out of range");
+    return whole[(*cursor)++];
+  };
+  for (;;) {
+    uint8_t len = next_u8();
+    if (len == 0) break;
+    if ((len & 0xc0) == 0xc0) {
+      if (++jumps > 16) throw wire::DecodeError("compression loop");
+      uint8_t lo = next_u8();
+      size_t target = static_cast<size_t>(len & 0x3f) << 8 | lo;
+      cursor = target;
+      continue;
+    }
+    if (len > 63) throw wire::DecodeError("bad label length");
+    if (!out.empty()) out.push_back('.');
+    for (int i = 0; i < len; ++i)
+      out.push_back(static_cast<char>(next_u8()));
+  }
+  return normalize_name(out);
+}
+
+namespace {
+
+void encode_rdata(wire::Writer& w, const ResourceRecord& rr) {
+  std::visit(
+      [&](const auto& data) {
+        using T = std::decay_t<decltype(data)>;
+        if constexpr (std::is_same_v<T, ARecord>) {
+          w.u32(data.address.v4_value());
+        } else if constexpr (std::is_same_v<T, AaaaRecord>) {
+          w.bytes(data.address.v6_bytes());
+        } else if constexpr (std::is_same_v<T, CnameRecord>) {
+          encode_name(w, data.target);
+        } else if constexpr (std::is_same_v<T, TxtRecord>) {
+          // character-strings of <= 255 bytes
+          size_t pos = 0;
+          while (pos < data.text.size() || pos == 0) {
+            size_t n = std::min<size_t>(255, data.text.size() - pos);
+            w.u8(static_cast<uint8_t>(n));
+            w.str(std::string_view(data.text).substr(pos, n));
+            pos += n;
+            if (pos >= data.text.size()) break;
+          }
+        } else if constexpr (std::is_same_v<T, SvcbData>) {
+          w.u16(data.priority);
+          encode_name(w, data.target == "." ? "" : data.target);
+          // SvcParams in strictly increasing key order.
+          if (!data.alpn.empty()) {
+            w.u16(static_cast<uint16_t>(SvcParamKey::kAlpn));
+            size_t at = w.begin_length(2);
+            for (const auto& proto : data.alpn) {
+              w.u8(static_cast<uint8_t>(proto.size()));
+              w.str(proto);
+            }
+            w.fill_length(at, 2);
+          }
+          if (data.port) {
+            w.u16(static_cast<uint16_t>(SvcParamKey::kPort));
+            w.u16(2);
+            w.u16(*data.port);
+          }
+          if (!data.ipv4_hints.empty()) {
+            w.u16(static_cast<uint16_t>(SvcParamKey::kIpv4Hint));
+            w.u16(static_cast<uint16_t>(4 * data.ipv4_hints.size()));
+            for (const auto& addr : data.ipv4_hints) w.u32(addr.v4_value());
+          }
+          if (!data.ipv6_hints.empty()) {
+            w.u16(static_cast<uint16_t>(SvcParamKey::kIpv6Hint));
+            w.u16(static_cast<uint16_t>(16 * data.ipv6_hints.size()));
+            for (const auto& addr : data.ipv6_hints) w.bytes(addr.v6_bytes());
+          }
+        }
+      },
+      rr.data);
+}
+
+RData decode_rdata(RRType type, wire::Reader& r, size_t rdlength,
+                   std::span<const uint8_t> whole) {
+  size_t end = r.position() + rdlength;
+  switch (type) {
+    case RRType::kA:
+      return ARecord{netsim::IpAddress::v4(r.u32())};
+    case RRType::kAaaa: {
+      auto bytes = r.bytes(16);
+      std::array<uint8_t, 16> arr;
+      std::copy(bytes.begin(), bytes.end(), arr.begin());
+      return AaaaRecord{netsim::IpAddress::v6(arr)};
+    }
+    case RRType::kCname:
+      return CnameRecord{decode_name(r, whole)};
+    case RRType::kTxt: {
+      std::string text;
+      while (r.position() < end) text += r.str(r.u8());
+      return TxtRecord{text};
+    }
+    case RRType::kSvcb:
+    case RRType::kHttps: {
+      SvcbData svcb;
+      svcb.priority = r.u16();
+      svcb.target = decode_name(r, whole);
+      if (svcb.target.empty()) svcb.target = ".";
+      while (r.position() < end) {
+        uint16_t key = r.u16();
+        size_t len = r.u16();
+        wire::Reader value(r.bytes(len));
+        switch (static_cast<SvcParamKey>(key)) {
+          case SvcParamKey::kAlpn:
+            while (!value.done()) svcb.alpn.push_back(value.str(value.u8()));
+            break;
+          case SvcParamKey::kPort:
+            svcb.port = value.u16();
+            break;
+          case SvcParamKey::kIpv4Hint:
+            while (!value.done())
+              svcb.ipv4_hints.push_back(netsim::IpAddress::v4(value.u32()));
+            break;
+          case SvcParamKey::kIpv6Hint:
+            while (!value.done()) {
+              auto bytes = value.bytes(16);
+              std::array<uint8_t, 16> arr;
+              std::copy(bytes.begin(), bytes.end(), arr.begin());
+              svcb.ipv6_hints.push_back(netsim::IpAddress::v6(arr));
+            }
+            break;
+          default:
+            break;  // unknown SvcParam: ignore, per the draft
+        }
+      }
+      return svcb;
+    }
+  }
+  throw wire::DecodeError("unsupported RR type");
+}
+
+void encode_rr(wire::Writer& w, const ResourceRecord& rr) {
+  encode_name(w, rr.name);
+  w.u16(static_cast<uint16_t>(rr.type));
+  w.u16(1);  // class IN
+  w.u32(rr.ttl);
+  size_t at = w.begin_length(2);
+  encode_rdata(w, rr);
+  w.fill_length(at, 2);
+}
+
+ResourceRecord decode_rr(wire::Reader& r, std::span<const uint8_t> whole) {
+  ResourceRecord rr;
+  rr.name = decode_name(r, whole);
+  rr.type = static_cast<RRType>(r.u16());
+  r.u16();  // class
+  rr.ttl = r.u32();
+  size_t rdlength = r.u16();
+  rr.data = decode_rdata(rr.type, r, rdlength, whole);
+  return rr;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_message(const Message& msg) {
+  wire::Writer w;
+  w.u16(msg.id);
+  uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  if (msg.recursion_desired) flags |= 0x0100;
+  if (msg.recursion_available) flags |= 0x0080;
+  flags |= static_cast<uint16_t>(msg.rcode);
+  w.u16(flags);
+  w.u16(static_cast<uint16_t>(msg.questions.size()));
+  w.u16(static_cast<uint16_t>(msg.answers.size()));
+  w.u16(static_cast<uint16_t>(msg.authority.size()));
+  w.u16(static_cast<uint16_t>(msg.additional.size()));
+  for (const auto& q : msg.questions) {
+    encode_name(w, q.name);
+    w.u16(static_cast<uint16_t>(q.type));
+    w.u16(1);  // class IN
+  }
+  for (const auto& rr : msg.answers) encode_rr(w, rr);
+  for (const auto& rr : msg.authority) encode_rr(w, rr);
+  for (const auto& rr : msg.additional) encode_rr(w, rr);
+  return w.take();
+}
+
+Message decode_message(std::span<const uint8_t> data) {
+  wire::Reader r(data);
+  Message msg;
+  msg.id = r.u16();
+  uint16_t flags = r.u16();
+  msg.is_response = flags & 0x8000;
+  msg.recursion_desired = flags & 0x0100;
+  msg.recursion_available = flags & 0x0080;
+  msg.rcode = static_cast<RCode>(flags & 0x000f);
+  uint16_t qd = r.u16(), an = r.u16(), ns = r.u16(), ar = r.u16();
+  for (int i = 0; i < qd; ++i) {
+    Question q;
+    q.name = decode_name(r, data);
+    q.type = static_cast<RRType>(r.u16());
+    r.u16();  // class
+    msg.questions.push_back(std::move(q));
+  }
+  for (int i = 0; i < an; ++i) msg.answers.push_back(decode_rr(r, data));
+  for (int i = 0; i < ns; ++i) msg.authority.push_back(decode_rr(r, data));
+  for (int i = 0; i < ar; ++i) msg.additional.push_back(decode_rr(r, data));
+  return msg;
+}
+
+}  // namespace dns

@@ -1,0 +1,44 @@
+// DNS wire format (RFC 1035) message codec, extended with SVCB/HTTPS
+// RDATA (draft-ietf-dnsop-svcb-https-05 section 2.2). Names are encoded
+// uncompressed; the decoder additionally accepts compression pointers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/types.h"
+#include "wire/buffer.h"
+
+namespace dns {
+
+struct Question {
+  std::string name;
+  RRType type = RRType::kA;
+
+  bool operator==(const Question&) const = default;
+};
+
+struct Message {
+  uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  RCode rcode = RCode::kNoError;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+};
+
+std::vector<uint8_t> encode_message(const Message& msg);
+
+/// Throws wire::DecodeError on malformed input.
+Message decode_message(std::span<const uint8_t> data);
+
+// Exposed for tests.
+void encode_name(wire::Writer& w, const std::string& name);
+std::string decode_name(wire::Reader& r, std::span<const uint8_t> whole);
+
+}  // namespace dns

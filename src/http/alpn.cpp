@@ -1,0 +1,63 @@
+#include "http/alpn.h"
+
+#include <algorithm>
+
+namespace http {
+
+std::optional<std::string> alpn_for_version(quic::Version version) {
+  using namespace quic;
+  if (version == kVersion1) return "h3";
+  if (is_ietf_draft(version))
+    return "h3-" + std::to_string(version & 0xff);
+  if (is_google(version)) {
+    // Alt-Svc practice encodes gQUIC as h3-Q0xx.
+    char kind = static_cast<char>(version >> 24);
+    if (kind == 'Q' || kind == 'T')
+      return std::string("h3-") + version_name(version);
+  }
+  return std::nullopt;
+}
+
+std::optional<quic::Version> version_for_alpn(const std::string& token) {
+  using namespace quic;
+  if (token == "h3") return kVersion1;
+  if (token.rfind("h3-", 0) == 0) {
+    std::string rest = token.substr(3);
+    if (!rest.empty() && (rest[0] == 'Q' || rest[0] == 'T') &&
+        rest.size() == 4)
+      return google_version(rest[0], std::atoi(rest.c_str() + 1));
+    bool digits = !rest.empty() && std::all_of(rest.begin(), rest.end(),
+                                               [](char c) {
+                                                 return c >= '0' && c <= '9';
+                                               });
+    if (digits) return draft_version(std::atoi(rest.c_str()));
+  }
+  return std::nullopt;
+}
+
+bool alpn_implies_quic(const std::string& token) {
+  return token == "quic" || token == "h3" || token.rfind("h3-", 0) == 0 ||
+         token.rfind("hq-", 0) == 0;
+}
+
+std::string alpn_set_name(std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end(), [](const std::string& a,
+                                             const std::string& b) {
+    auto klass = [](const std::string& t) {
+      if (t == "quic") return 2;
+      if (t.rfind("h3-Q", 0) == 0 || t.rfind("h3-T", 0) == 0) return 1;
+      return 0;  // IETF tokens (h3, h3-NN) first
+    };
+    if (klass(a) != klass(b)) return klass(a) < klass(b);
+    return a < b;  // lexicographic within class, as the paper prints
+  });
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  std::string out;
+  for (const auto& t : tokens) {
+    if (!out.empty()) out += ",";
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace http

@@ -1,0 +1,31 @@
+// ALPN token registry for HTTP/3: maps between "h3-29"-style tokens and
+// QUIC wire versions, and classifies which tokens imply QUIC support
+// (the detection rule behind the paper's ALT-SVC and HTTPS-RR scans).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "quic/version.h"
+
+namespace http {
+
+/// "h3" (v1), "h3-29", "h3-Q050", ... for a given version; nullopt for
+/// versions with no HTTP/3 token (e.g. pure gQUIC Q043 uses "h3-Q043"
+/// in Alt-Svc practice, which this returns).
+std::optional<std::string> alpn_for_version(quic::Version version);
+
+/// Inverse: "h3" -> v1, "h3-29" -> draft-29, "h3-Q050" -> Q050.
+std::optional<quic::Version> version_for_alpn(const std::string& token);
+
+/// True if the token advertises a QUIC-based protocol. Includes the
+/// bare legacy token "quic" that some deployments still served in 2021.
+bool alpn_implies_quic(const std::string& token);
+
+/// Canonical ","-joined display of an ALPN set as the paper prints them
+/// (e.g. "h3-25,h3-27,h3-Q043,h3-Q046,h3-Q050,quic"), sorted
+/// IETF tokens first ascending, then Google tokens, then "quic".
+std::string alpn_set_name(std::vector<std::string> tokens);
+
+}  // namespace http

@@ -1,0 +1,146 @@
+#include "http/alt_svc.h"
+
+#include <charconv>
+
+namespace http {
+
+namespace {
+
+void skip_ows(std::string_view& s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+    s.remove_prefix(1);
+}
+
+/// Consumes a token or quoted-string; returns nullopt on violations.
+std::optional<std::string> take_value(std::string_view& s) {
+  if (s.empty()) return std::nullopt;
+  std::string out;
+  if (s.front() == '"') {
+    s.remove_prefix(1);
+    while (!s.empty() && s.front() != '"') {
+      if (s.front() == '\\') {
+        s.remove_prefix(1);
+        if (s.empty()) return std::nullopt;
+      }
+      out.push_back(s.front());
+      s.remove_prefix(1);
+    }
+    if (s.empty()) return std::nullopt;  // unterminated
+    s.remove_prefix(1);
+    return out;
+  }
+  while (!s.empty() && s.front() != ';' && s.front() != ',' &&
+         s.front() != '=' && s.front() != ' ' && s.front() != '\t') {
+    out.push_back(s.front());
+    s.remove_prefix(1);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+/// Percent-decodes an ALPN protocol id (RFC 7838 section 3).
+std::optional<std::string> percent_decode(std::string_view s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) return std::nullopt;
+      int hi = std::isxdigit(static_cast<unsigned char>(s[i + 1]))
+                   ? (std::isdigit(static_cast<unsigned char>(s[i + 1]))
+                          ? s[i + 1] - '0'
+                          : std::tolower(s[i + 1]) - 'a' + 10)
+                   : -1;
+      int lo = std::isxdigit(static_cast<unsigned char>(s[i + 2]))
+                   ? (std::isdigit(static_cast<unsigned char>(s[i + 2]))
+                          ? s[i + 2] - '0'
+                          : std::tolower(s[i + 2]) - 'a' + 10)
+                   : -1;
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out.push_back(static_cast<char>(hi << 4 | lo));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<AltSvcEntry>> parse_alt_svc(std::string_view value) {
+  skip_ows(value);
+  if (value == "clear") return std::vector<AltSvcEntry>{};
+  std::vector<AltSvcEntry> entries;
+  while (true) {
+    skip_ows(value);
+    auto protocol = take_value(value);
+    if (!protocol) return std::nullopt;
+    auto decoded = percent_decode(*protocol);
+    if (!decoded) return std::nullopt;
+    skip_ows(value);
+    if (value.empty() || value.front() != '=') return std::nullopt;
+    value.remove_prefix(1);
+    auto authority = take_value(value);
+    if (!authority) return std::nullopt;
+
+    AltSvcEntry entry;
+    entry.alpn = *decoded;
+    // authority = [host] ":" port
+    size_t colon = authority->rfind(':');
+    if (colon == std::string::npos) return std::nullopt;
+    entry.host = authority->substr(0, colon);
+    std::string_view port_str{authority->data() + colon + 1,
+                              authority->size() - colon - 1};
+    unsigned port = 0;
+    auto [p, ec] =
+        std::from_chars(port_str.data(), port_str.data() + port_str.size(),
+                        port);
+    if (ec != std::errc{} || p != port_str.data() + port_str.size() ||
+        port > 65535)
+      return std::nullopt;
+    entry.port = static_cast<uint16_t>(port);
+
+    // Parameters: ";" name "=" value (we interpret "ma").
+    skip_ows(value);
+    while (!value.empty() && value.front() == ';') {
+      value.remove_prefix(1);
+      skip_ows(value);
+      auto name = take_value(value);
+      if (!name) return std::nullopt;
+      skip_ows(value);
+      if (value.empty() || value.front() != '=') return std::nullopt;
+      value.remove_prefix(1);
+      skip_ows(value);
+      auto param = take_value(value);
+      if (!param) return std::nullopt;
+      if (*name == "ma") {
+        uint64_t ma = 0;
+        auto [p2, ec2] =
+            std::from_chars(param->data(), param->data() + param->size(), ma);
+        if (ec2 != std::errc{} || p2 != param->data() + param->size())
+          return std::nullopt;
+        entry.max_age = ma;
+      }
+      skip_ows(value);
+    }
+    entries.push_back(std::move(entry));
+    skip_ows(value);
+    if (value.empty()) break;
+    if (value.front() != ',') return std::nullopt;
+    value.remove_prefix(1);
+  }
+  return entries;
+}
+
+std::string format_alt_svc(const std::vector<AltSvcEntry>& entries) {
+  if (entries.empty()) return "clear";
+  std::string out;
+  for (const auto& entry : entries) {
+    if (!out.empty()) out += ", ";
+    out += entry.alpn;  // all tokens used here are percent-safe
+    out += "=\"" + entry.host + ":" + std::to_string(entry.port) + "\"";
+    if (entry.max_age) out += "; ma=" + std::to_string(*entry.max_age);
+  }
+  return out;
+}
+
+}  // namespace http

@@ -1,0 +1,28 @@
+// HTTP Alternative Services header (RFC 7838). TLS-over-TCP scans in
+// the paper collect this header to discover QUIC endpoints: an entry
+// whose ALPN token indicates HTTP/3 implies QUIC support on the given
+// authority (section 2.2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace http {
+
+struct AltSvcEntry {
+  std::string alpn;   // percent-decoded protocol id, e.g. "h3-29"
+  std::string host;   // empty means "same host"
+  uint16_t port = 0;
+  std::optional<uint64_t> max_age;  // "ma" parameter, seconds
+
+  bool operator==(const AltSvcEntry&) const = default;
+};
+
+/// Parses an Alt-Svc field value; nullopt on grammar violations. The
+/// special value "clear" yields an empty vector.
+std::optional<std::vector<AltSvcEntry>> parse_alt_svc(std::string_view value);
+
+std::string format_alt_svc(const std::vector<AltSvcEntry>& entries);
+
+}  // namespace http

@@ -1,0 +1,155 @@
+#include "http/h3.h"
+
+#include <charconv>
+
+namespace http::h3 {
+
+namespace {
+
+/// Literal field-line encoding (the QPACK substitution): count, then
+/// (name-length, name, value-length, value) tuples, all varints.
+void encode_fields(
+    wire::Writer& w,
+    const std::vector<std::pair<std::string, std::string>>& fields) {
+  w.varint(fields.size());
+  for (const auto& [name, value] : fields) {
+    w.varint(name.size());
+    w.str(name);
+    w.varint(value.size());
+    w.str(value);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> decode_fields(
+    std::span<const uint8_t> payload) {
+  wire::Reader r(payload);
+  uint64_t count = r.varint();
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name = r.str(r.varint());
+    std::string value = r.str(r.varint());
+    fields.emplace_back(std::move(name), std::move(value));
+  }
+  return fields;
+}
+
+}  // namespace
+
+void encode_frame(wire::Writer& w, const Frame& frame) {
+  w.varint(frame.type);
+  w.varint(frame.payload.size());
+  w.bytes(frame.payload);
+}
+
+std::vector<uint8_t> encode_frames(const std::vector<Frame>& frames) {
+  wire::Writer w;
+  for (const auto& frame : frames) encode_frame(w, frame);
+  return w.take();
+}
+
+std::vector<Frame> decode_frames(std::span<const uint8_t> data) {
+  std::vector<Frame> frames;
+  wire::Reader r(data);
+  while (!r.done()) {
+    Frame frame;
+    frame.type = r.varint();
+    frame.payload = r.bytes_copy(r.varint());
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::vector<uint8_t> encode_request(const Request& request) {
+  std::vector<std::pair<std::string, std::string>> fields{
+      {":method", request.method},
+      {":scheme", request.scheme},
+      {":authority", request.authority},
+      {":path", request.path},
+  };
+  for (const auto& [name, value] : request.headers.entries())
+    fields.emplace_back(name, value);
+  wire::Writer headers;
+  encode_fields(headers, fields);
+  return encode_frames({{kFrameHeaders, headers.take()}});
+}
+
+std::optional<Request> decode_request(std::span<const uint8_t> stream) {
+  try {
+    Request request;
+    bool saw_headers = false;
+    for (const auto& frame : decode_frames(stream)) {
+      if (frame.type != kFrameHeaders) continue;
+      saw_headers = true;
+      for (auto& [name, value] : decode_fields(frame.payload)) {
+        if (name == ":method")
+          request.method = value;
+        else if (name == ":scheme")
+          request.scheme = value;
+        else if (name == ":authority")
+          request.authority = value;
+        else if (name == ":path")
+          request.path = value;
+        else if (!name.empty() && name[0] != ':')
+          request.headers.add(name, value);
+      }
+    }
+    if (!saw_headers) return std::nullopt;
+    return request;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<uint8_t> encode_response(const Response& response) {
+  std::vector<std::pair<std::string, std::string>> fields{
+      {":status", std::to_string(response.status)},
+  };
+  for (const auto& [name, value] : response.headers.entries())
+    fields.emplace_back(name, value);
+  wire::Writer headers;
+  encode_fields(headers, fields);
+  std::vector<Frame> frames{{kFrameHeaders, headers.take()}};
+  if (!response.body.empty())
+    frames.push_back(
+        {kFrameData, {response.body.begin(), response.body.end()}});
+  return encode_frames(frames);
+}
+
+std::optional<Response> decode_response(std::span<const uint8_t> stream) {
+  try {
+    Response response;
+    bool saw_headers = false;
+    for (const auto& frame : decode_frames(stream)) {
+      if (frame.type == kFrameHeaders) {
+        saw_headers = true;
+        for (auto& [name, value] : decode_fields(frame.payload)) {
+          if (name == ":status") {
+            auto [p, ec] = std::from_chars(value.data(),
+                                           value.data() + value.size(),
+                                           response.status);
+            if (ec != std::errc{}) return std::nullopt;
+          } else if (!name.empty() && name[0] != ':') {
+            response.headers.add(name, value);
+          }
+        }
+      } else if (frame.type == kFrameData) {
+        response.body.append(frame.payload.begin(), frame.payload.end());
+      }
+    }
+    if (!saw_headers) return std::nullopt;
+    return response;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+bool looks_like_h3(std::span<const uint8_t> stream) {
+  // HEADERS (0x01) or SETTINGS (0x04) as the first varint; HTTP/1 text
+  // starts with an ASCII letter (>= 0x41).
+  if (stream.empty()) return false;
+  return stream[0] == kFrameHeaders || stream[0] == kFrameSettings ||
+         stream[0] == kFrameData;
+}
+
+}  // namespace http::h3

@@ -1,0 +1,38 @@
+// HTTP request/response model with an HTTP/1.1 text codec. On the QUIC
+// path this stands in for HTTP/3 semantics (see DESIGN.md section 7:
+// requests travel on stream 0 without QPACK; header *semantics* --
+// Server values, Alt-Svc -- are what the paper's analyses consume).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "http/headers.h"
+
+namespace http {
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+
+  std::string serialize() const;
+  static std::optional<Request> parse(std::string_view text);
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  std::string serialize() const;
+  static std::optional<Response> parse(std::string_view text);
+};
+
+/// Convenience builder for the scanners' HEAD probe.
+Request head_request(const std::string& host);
+
+}  // namespace http

@@ -1,0 +1,63 @@
+// ServerHost: binds one HostProfile to the simulated network. It owns
+// the QUIC side (a quic::ServerConnection per client connection, built
+// from a DeploymentBehavior derived from the profile) and the TCP side
+// (a tls::TlsServerSession per accepted connection), and implements the
+// certificate selection and HTTP responder both paths share -- which is
+// exactly what makes the paper's QUIC vs TLS-over-TCP comparison
+// (Table 5) meaningful.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "internet/population.h"
+#include "netsim/network.h"
+#include "quic/connection.h"
+#include "tls/endpoint.h"
+
+namespace internet {
+
+class ServerHost : public netsim::UdpService, public netsim::TcpService {
+ public:
+  ServerHost(const Population& population, const HostProfile& profile,
+             crypto::Rng rng);
+
+  // netsim::UdpService (QUIC on UDP 443)
+  void on_datagram(const netsim::Endpoint& from,
+                   std::span<const uint8_t> payload,
+                   const Transmit& transmit) override;
+
+  // netsim::TcpService (TLS on TCP 443)
+  std::unique_ptr<netsim::TcpSession> accept(
+      const netsim::Endpoint& client) override;
+
+  const HostProfile& profile() const { return profile_; }
+
+  /// Certificate selection shared by both stacks. `tcp_path` switches
+  /// on the TCP-only behaviors (self-signed no-SNI placeholder,
+  /// rotation skew).
+  std::optional<tls::Certificate> select_certificate(
+      const std::optional<std::string>& sni, bool tcp_path) const;
+
+  /// HTTP response body used on both stacks; the TCP flavor carries the
+  /// Alt-Svc header.
+  std::string http_response(const std::string& request, bool tcp_path) const;
+
+ private:
+  bool hosts_domain(const std::string& name) const;
+  tls::Certificate make_certificate(const std::string& subject,
+                                    bool tcp_path) const;
+
+  const Population& population_;
+  const HostProfile& profile_;
+  crypto::Rng rng_;
+  quic::DeploymentBehavior behavior_;
+  tls::TlsServerConfig tls_config_;
+
+  // One QUIC connection per (client endpoint, original DCID).
+  std::map<std::string, std::unique_ptr<quic::ServerConnection>> sessions_;
+  uint64_t session_counter_ = 0;
+};
+
+}  // namespace internet

@@ -1,0 +1,122 @@
+#include "internet/internet.h"
+
+#include <stdexcept>
+
+namespace internet {
+
+Internet::Internet(const PopulationParams& params, int week,
+                   netsim::EventLoop& loop)
+    : loop_(loop),
+      population_(params, week),
+      network_(loop, params.seed ^ 0x105e) {
+  register_hosts();
+  build_zones();
+}
+
+void Internet::register_hosts() {
+  crypto::Rng rng(population_.week() * 7919 + 0x9000);
+  server_hosts_.reserve(population_.hosts().size());
+  for (const auto& profile : population_.hosts()) {
+    auto host = std::make_unique<ServerHost>(
+        population_, profile, rng.fork(profile.address.to_string()));
+    netsim::Endpoint endpoint{profile.address, kQuicPort};
+    if (profile.quic_enabled() && !profile.udp_filtered)
+      network_.add_udp_service(endpoint, host.get());
+    if (profile.tcp443_open) network_.add_tcp_service(endpoint, host.get());
+    host_map_.emplace(profile.address, host.get());
+    server_hosts_.push_back(std::move(host));
+  }
+}
+
+void Internet::build_zones() {
+  const auto& hosts = population_.hosts();
+  for (const auto& domain : population_.domains()) {
+    for (uint32_t h : domain.v4_hosts) {
+      zones_.add({domain.name, dns::RRType::kA, 300,
+                  dns::ARecord{hosts[h].address}});
+    }
+    for (uint32_t h : domain.v6_hosts) {
+      zones_.add({domain.name, dns::RRType::kAaaa, 300,
+                  dns::AaaaRecord{hosts[h].address}});
+    }
+    if (domain.https_rr_since_week > 0 &&
+        domain.https_rr_since_week <= population_.week()) {
+      dns::SvcbData svcb;
+      svcb.priority = 1;
+      svcb.target = ".";
+      // ALPN set and hints come from the (first) hosting deployment.
+      if (!domain.v4_hosts.empty()) {
+        const auto& host = hosts[domain.v4_hosts[0]];
+        svcb.alpn = host.alt_svc_alpn.empty()
+                        ? std::vector<std::string>{"h3-29"}
+                        : host.alt_svc_alpn;
+        svcb.ipv4_hints.push_back(host.address);
+        // The authoritative data includes every record -- including a
+        // stale one (the paper's sub-80 % HTTPS-RR scan success).
+        if (domain.v4_hosts.size() > 1 &&
+            domain.v4_hosts.back() != domain.v4_hosts[0])
+          svcb.ipv4_hints.push_back(hosts[domain.v4_hosts.back()].address);
+      }
+      if (!domain.v6_hosts.empty()) {
+        svcb.ipv6_hints.push_back(hosts[domain.v6_hosts[0]].address);
+        if (domain.v6_hosts.size() > 1 &&
+            domain.v6_hosts.back() != domain.v6_hosts[0])
+          svcb.ipv6_hints.push_back(hosts[domain.v6_hosts.back()].address);
+        if (svcb.alpn.empty()) svcb.alpn = {"h3-29"};
+      }
+      zones_.add({domain.name, dns::RRType::kHttps, 300, std::move(svcb)});
+    }
+  }
+}
+
+std::vector<netsim::IpAddress> Internet::zmap_candidates_v4(
+    int dud_factor) const {
+  std::vector<netsim::IpAddress> out;
+  for (const auto& host : population_.hosts()) {
+    if (!host.address.is_v4()) continue;
+    out.push_back(host.address);
+    // Unresponsive neighbours in the same prefix: high in the host part
+    // so they never collide with allocated addresses.
+    for (int d = 1; d <= dud_factor; ++d) {
+      uint32_t dud = host.address.v4_value() ^ (0x00400000u * static_cast<uint32_t>(d));
+      out.push_back(netsim::IpAddress::v4(dud));
+    }
+  }
+  return out;
+}
+
+std::vector<netsim::IpAddress> Internet::ipv6_hitlist() const {
+  std::vector<netsim::IpAddress> out;
+  for (const auto& host : population_.hosts()) {
+    if (!host.address.is_v6()) continue;
+    out.push_back(host.address);
+  }
+  // Hitlist noise: plausible but dead addresses.
+  for (int i = 0; i < 200; ++i) {
+    out.push_back(netsim::IpAddress::v6(0x20010db8deadbeefull,
+                                        static_cast<uint64_t>(i)));
+  }
+  return out;
+}
+
+std::vector<std::string> Internet::list_corpus(
+    const std::string& list_name) const {
+  for (const auto& corpus : population_.lists()) {
+    if (corpus.name != list_name) continue;
+    std::vector<std::string> out;
+    out.reserve(corpus.members.size() + corpus.synthetic_count);
+    for (uint32_t id : corpus.members)
+      out.push_back(population_.domains()[id].name);
+    for (size_t i = 0; i < corpus.synthetic_count; ++i)
+      out.push_back(Population::synthetic_domain(list_name, i));
+    return out;
+  }
+  throw std::invalid_argument("unknown list " + list_name);
+}
+
+const ServerHost* Internet::host_for(const netsim::IpAddress& addr) const {
+  auto it = host_map_.find(addr);
+  return it == host_map_.end() ? nullptr : it->second;
+}
+
+}  // namespace internet

@@ -1,0 +1,57 @@
+// The Internet facade: builds the population for a week, registers
+// every host on the simulated network fabric (UDP/443 + TCP/443),
+// builds the authoritative DNS zones (A/AAAA/HTTPS), and exposes the
+// scan inputs the paper's tooling consumed -- the IPv4 sweep space, the
+// IPv6 hitlist, and the domain corpora.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dns/resolver.h"
+#include "internet/host.h"
+#include "internet/population.h"
+#include "netsim/network.h"
+
+namespace internet {
+
+inline constexpr uint16_t kQuicPort = 443;
+inline constexpr uint16_t kTlsPort = 443;
+
+class Internet {
+ public:
+  Internet(const PopulationParams& params, int week, netsim::EventLoop& loop);
+
+  netsim::Network& network() { return network_; }
+  const Population& population() const { return population_; }
+  const dns::ZoneStore& zones() const { return zones_; }
+
+  /// IPv4 sweep candidates: every allocated host address plus
+  /// `dud_factor` unresponsive addresses per host (the sweep must wade
+  /// through silence, like the real 3-billion-address scan did).
+  std::vector<netsim::IpAddress> zmap_candidates_v4(int dud_factor = 2) const;
+
+  /// IPv6 scan input: union of AAAA resolutions and a hitlist-style
+  /// sample of known-active v6 addresses.
+  std::vector<netsim::IpAddress> ipv6_hitlist() const;
+
+  /// All domain names of one input list (stored members followed by the
+  /// synthetic non-QUIC bulk), ready for the DNS scanner.
+  std::vector<std::string> list_corpus(const std::string& list_name) const;
+
+  const ServerHost* host_for(const netsim::IpAddress& addr) const;
+
+ private:
+  void register_hosts();
+  void build_zones();
+
+  netsim::EventLoop& loop_;
+  Population population_;
+  netsim::Network network_;
+  dns::ZoneStore zones_;
+  std::vector<std::unique_ptr<ServerHost>> server_hosts_;
+  std::unordered_map<netsim::IpAddress, ServerHost*, netsim::IpAddressHash>
+      host_map_;
+};
+
+}  // namespace internet

@@ -1,0 +1,40 @@
+#include "netsim/event_loop.h"
+
+namespace netsim {
+
+TimerId EventLoop::schedule_at(uint64_t at_us, std::function<void()> fn) {
+  if (at_us < now_us_) at_us = now_us_;
+  TimerId id = next_id_++;
+  queue_.emplace(std::make_pair(at_us, id), std::move(fn));
+  id_to_time_.emplace(id, at_us);
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) {
+  auto it = id_to_time_.find(id);
+  if (it == id_to_time_.end()) return;
+  queue_.erase({it->second, id});
+  id_to_time_.erase(it);
+}
+
+void EventLoop::run() { run_until(UINT64_MAX); }
+
+void EventLoop::run_until(uint64_t limit_us) {
+  while (!queue_.empty()) {
+    auto it = queue_.begin();
+    if (it->first.first > limit_us) {
+      now_us_ = limit_us;
+      return;
+    }
+    auto fn = std::move(it->second);
+    now_us_ = it->first.first;
+    id_to_time_.erase(it->first.second);
+    queue_.erase(it);
+    fn();
+  }
+  // Queue drained before the limit: virtual time still advances to the
+  // limit (callers use this to model fixed waits).
+  if (limit_us != UINT64_MAX && limit_us > now_us_) now_us_ = limit_us;
+}
+
+}  // namespace netsim

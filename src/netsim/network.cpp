@@ -1,0 +1,113 @@
+#include "netsim/network.h"
+
+#include <stdexcept>
+
+#include "crypto/rng.h"
+
+namespace netsim {
+
+Network::Network(EventLoop& loop, uint64_t loss_seed)
+    : loop_(loop), loss_state_(loss_seed) {}
+
+void Network::add_udp_service(const Endpoint& at, UdpService* service) {
+  udp_services_[at] = service;
+}
+
+void Network::remove_udp_service(const Endpoint& at) {
+  udp_services_.erase(at);
+}
+
+void Network::add_tcp_service(const Endpoint& at, TcpService* service) {
+  tcp_services_[at] = service;
+}
+
+void Network::set_link(const IpAddress& host, const LinkProperties& props) {
+  links_[host] = props;
+}
+
+const LinkProperties& Network::link(const IpAddress& host) const {
+  auto it = links_.find(host);
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+bool Network::tcp_port_open(const Endpoint& at) const {
+  return tcp_services_.contains(at) && !link(at.addr).silent;
+}
+
+std::vector<uint8_t> Network::TcpConnection::exchange(
+    std::span<const uint8_t> data) {
+  // Advance virtual time by one round trip; pending events due in that
+  // window (e.g. interleaved UDP deliveries) fire in order.
+  loop_.run_until(loop_.now_us() + rtt_us_);
+  return session_->on_data(data);
+}
+
+std::optional<Network::TcpConnection> Network::tcp_connect(
+    const Endpoint& from, const Endpoint& to) {
+  auto it = tcp_services_.find(to);
+  if (it == tcp_services_.end()) return std::nullopt;
+  const auto& props = link(to.addr);
+  if (props.silent) return std::nullopt;
+  auto session = it->second->accept(from);
+  if (!session) return std::nullopt;
+  return TcpConnection(std::move(session), 2 * props.latency_us, loop_);
+}
+
+std::unique_ptr<UdpSocket> Network::open_udp(const Endpoint& local) {
+  return std::make_unique<UdpSocket>(*this, local);
+}
+
+void Network::send_datagram(const Endpoint& from, const Endpoint& to,
+                            std::vector<uint8_t> payload) {
+  ++datagrams_sent_;
+  bytes_sent_ += payload.size();
+  if (tap_) tap_(from, to, payload);
+  const auto& props = link(to.addr);
+  if (props.silent) return;
+  if (props.loss > 0) {
+    double draw = static_cast<double>(crypto::splitmix64(loss_state_) >> 11) *
+                  0x1.0p-53;
+    if (draw < props.loss) return;
+  }
+  loop_.schedule_in(
+      props.latency_us,
+      [this, from, to, payload = std::move(payload)]() mutable {
+        deliver(from, to, std::move(payload));
+      });
+}
+
+void Network::deliver(const Endpoint& from, const Endpoint& to,
+                      std::vector<uint8_t> payload) {
+  if (auto it = udp_sockets_.find(to); it != udp_sockets_.end()) {
+    it->second->on_datagram(from, payload);
+    return;
+  }
+  if (auto it = udp_services_.find(to); it != udp_services_.end()) {
+    auto transmit = [this, to](const Endpoint& dest,
+                               std::vector<uint8_t> data) {
+      send_datagram(to, dest, std::move(data));
+    };
+    it->second->on_datagram(from, payload, transmit);
+  }
+  // No listener: datagram silently dropped, as on the real Internet
+  // (ICMP unreachable is not modeled; scanners classify by timeout).
+}
+
+UdpSocket::UdpSocket(Network& net, const Endpoint& local)
+    : net_(net), local_(local) {
+  auto [it, inserted] = net_.udp_sockets_.emplace(local, this);
+  if (!inserted) throw std::logic_error("UdpSocket: endpoint already bound");
+}
+
+UdpSocket::~UdpSocket() { net_.udp_sockets_.erase(local_); }
+
+void UdpSocket::send(const Endpoint& to, std::vector<uint8_t> payload) {
+  net_.send_datagram(local_, to, std::move(payload));
+}
+
+void UdpSocket::on_datagram(const Endpoint& from,
+                            std::span<const uint8_t> payload) {
+  if (receiver_) receiver_(from, payload);
+}
+
+}  // namespace netsim

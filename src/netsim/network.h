@@ -1,0 +1,153 @@
+// Simulated Internet data plane: UDP datagram delivery with per-host
+// link properties (latency, loss, silent drop) and a minimal
+// synchronous TCP abstraction for the TLS-over-TCP scanner.
+//
+// Hosts register services on (address, port). Client sockets deliver
+// datagrams through the shared EventLoop so multi-round-trip protocol
+// exchanges (QUIC handshakes) and timeouts interleave deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/address.h"
+#include "netsim/event_loop.h"
+
+namespace netsim {
+
+/// Server-side UDP handler. `transmit` sends a datagram back into the
+/// network from this service's endpoint.
+class UdpService {
+ public:
+  virtual ~UdpService() = default;
+  using Transmit =
+      std::function<void(const Endpoint& to, std::vector<uint8_t> payload)>;
+  virtual void on_datagram(const Endpoint& from,
+                           std::span<const uint8_t> payload,
+                           const Transmit& transmit) = 0;
+};
+
+/// One accepted TCP connection: byte-in, byte-out, synchronous.
+class TcpSession {
+ public:
+  virtual ~TcpSession() = default;
+  /// Consumes client bytes, returns server bytes (possibly empty).
+  virtual std::vector<uint8_t> on_data(std::span<const uint8_t> data) = 0;
+};
+
+class TcpService {
+ public:
+  virtual ~TcpService() = default;
+  virtual std::unique_ptr<TcpSession> accept(const Endpoint& client) = 0;
+};
+
+/// Per-host link behavior knobs.
+struct LinkProperties {
+  uint64_t latency_us = 10'000;  // one-way
+  double loss = 0.0;             // uniform datagram loss probability
+  bool silent = false;           // swallow everything (paper's timeouts)
+};
+
+class UdpSocket;
+
+/// The network fabric. Owns routing tables; services and sockets are
+/// borrowed (callers keep them alive while the loop runs).
+class Network {
+ public:
+  explicit Network(EventLoop& loop, uint64_t loss_seed = 0x5eed);
+
+  EventLoop& loop() { return loop_; }
+
+  void add_udp_service(const Endpoint& at, UdpService* service);
+  void remove_udp_service(const Endpoint& at);
+  void add_tcp_service(const Endpoint& at, TcpService* service);
+
+  void set_link(const IpAddress& host, const LinkProperties& props);
+  const LinkProperties& link(const IpAddress& host) const;
+
+  /// True if a TCP listener exists (a SYN scan hit).
+  bool tcp_port_open(const Endpoint& at) const;
+
+  /// Synchronous TCP connect; nullopt when no listener (RST).
+  class TcpConnection {
+   public:
+    TcpConnection(std::unique_ptr<TcpSession> session, uint64_t rtt_us,
+                  EventLoop& loop)
+        : session_(std::move(session)), rtt_us_(rtt_us), loop_(loop) {}
+    /// One application-level exchange; advances virtual time by one RTT.
+    std::vector<uint8_t> exchange(std::span<const uint8_t> data);
+
+   private:
+    std::unique_ptr<TcpSession> session_;
+    uint64_t rtt_us_;
+    EventLoop& loop_;
+  };
+  std::optional<TcpConnection> tcp_connect(const Endpoint& from,
+                                           const Endpoint& to);
+
+  /// Creates a client socket bound to `local`. The socket unregisters
+  /// itself on destruction.
+  std::unique_ptr<UdpSocket> open_udp(const Endpoint& local);
+
+  /// Datagram injection used by sockets and services.
+  void send_datagram(const Endpoint& from, const Endpoint& to,
+                     std::vector<uint8_t> payload);
+
+  /// Packet tap: observes every datagram offered to the fabric (before
+  /// loss/silent-drop), for tracing and debugging tools.
+  using Tap = std::function<void(const Endpoint& from, const Endpoint& to,
+                                 std::span<const uint8_t> payload)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  /// Total datagrams offered to the fabric (probe budget accounting).
+  uint64_t datagrams_sent() const { return datagrams_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  friend class UdpSocket;
+  void deliver(const Endpoint& from, const Endpoint& to,
+               std::vector<uint8_t> payload);
+
+  EventLoop& loop_;
+  std::unordered_map<Endpoint, UdpService*, EndpointHash> udp_services_;
+  std::unordered_map<Endpoint, UdpSocket*, EndpointHash> udp_sockets_;
+  std::unordered_map<Endpoint, TcpService*, EndpointHash> tcp_services_;
+  std::unordered_map<IpAddress, LinkProperties, IpAddressHash> links_;
+  LinkProperties default_link_{};
+  Tap tap_;
+  uint64_t loss_state_;
+  uint64_t datagrams_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+};
+
+/// Client-side datagram socket with an async receive callback.
+class UdpSocket {
+ public:
+  using Receiver =
+      std::function<void(const Endpoint& from, std::span<const uint8_t>)>;
+
+  UdpSocket(Network& net, const Endpoint& local);
+  ~UdpSocket();
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  const Endpoint& local() const { return local_; }
+  void set_receiver(Receiver r) { receiver_ = std::move(r); }
+  void send(const Endpoint& to, std::vector<uint8_t> payload);
+
+ private:
+  friend class Network;
+  void on_datagram(const Endpoint& from, std::span<const uint8_t> payload);
+
+  Network& net_;
+  Endpoint local_;
+  Receiver receiver_;
+};
+
+}  // namespace netsim

@@ -1,0 +1,81 @@
+#include "quic/ack_tracker.h"
+
+#include <stdexcept>
+
+namespace quic {
+
+bool AckTracker::on_packet(uint64_t pn) {
+  if (contains(pn)) return false;
+  // Find the range starting after pn and the one before it.
+  auto next = ranges_.upper_bound(pn);
+  bool merged = false;
+  if (next != ranges_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second + 1 == pn) {  // extend prev upward
+      prev->second = pn;
+      merged = true;
+      // Possibly bridge to next.
+      if (next != ranges_.end() && next->first == pn + 1) {
+        prev->second = next->second;
+        ranges_.erase(next);
+      }
+      return true;
+    }
+  }
+  if (next != ranges_.end() && next->first == pn + 1) {  // extend next down
+    uint64_t end = next->second;
+    ranges_.erase(next);
+    ranges_.emplace(pn, end);
+    merged = true;
+  }
+  if (!merged) ranges_.emplace(pn, pn);
+  return true;
+}
+
+bool AckTracker::contains(uint64_t pn) const {
+  auto next = ranges_.upper_bound(pn);
+  if (next == ranges_.begin()) return false;
+  auto prev = std::prev(next);
+  return pn >= prev->first && pn <= prev->second;
+}
+
+uint64_t AckTracker::largest() const {
+  if (ranges_.empty()) throw std::logic_error("AckTracker::largest: empty");
+  return std::prev(ranges_.end())->second;
+}
+
+AckFrame AckTracker::build_ack(uint64_t ack_delay) const {
+  if (ranges_.empty())
+    throw std::logic_error("AckTracker::build_ack: nothing received");
+  AckFrame ack;
+  ack.ack_delay = ack_delay;
+  auto it = ranges_.rbegin();
+  ack.largest_acknowledged = it->second;
+  ack.first_ack_range = it->second - it->first;
+  uint64_t prev_start = it->first;
+  for (++it; it != ranges_.rend(); ++it) {
+    AckRange range;
+    // Gap: packets between this range's end and the previous range's
+    // start, minus the two endpoints, minus one (RFC 9000 section 19.3.1).
+    range.gap = prev_start - it->second - 2;
+    range.length = it->second - it->first;
+    ack.ranges.push_back(range);
+    prev_start = it->first;
+  }
+  return ack;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ack_ranges(const AckFrame& ack) {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  uint64_t end = ack.largest_acknowledged;
+  uint64_t start = end - ack.first_ack_range;
+  out.emplace_back(start, end);
+  for (const auto& range : ack.ranges) {
+    end = start - range.gap - 2;
+    start = end - range.length;
+    out.emplace_back(start, end);
+  }
+  return out;
+}
+
+}  // namespace quic

@@ -1,0 +1,41 @@
+// Received-packet tracking and ACK frame generation (RFC 9000 section
+// 13.2): maintains the set of received packet numbers as maximal
+// disjoint ranges and renders them in the ACK frame's gap/length
+// encoding. Also detects duplicates (reprocessing a retransmitted or
+// replayed packet must be a no-op).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "quic/frame.h"
+
+namespace quic {
+
+class AckTracker {
+ public:
+  /// Records a received packet number; returns false for duplicates.
+  bool on_packet(uint64_t packet_number);
+
+  bool empty() const { return ranges_.empty(); }
+  uint64_t largest() const;
+  size_t range_count() const { return ranges_.size(); }
+
+  /// Renders the current state as an ACK frame (RFC 9000 section 19.3:
+  /// first_ack_range descends from the largest, then gap/length pairs).
+  AckFrame build_ack(uint64_t ack_delay = 0) const;
+
+  /// True if `packet_number` has been received.
+  bool contains(uint64_t packet_number) const;
+
+ private:
+  // start -> end (inclusive), non-overlapping, non-adjacent.
+  std::map<uint64_t, uint64_t> ranges_;
+};
+
+/// Expands an ACK frame back into the packet numbers it covers, in
+/// descending order of range (the receiver-side inverse, used by loss
+/// detection to mark acknowledged packets).
+std::vector<std::pair<uint64_t, uint64_t>> ack_ranges(const AckFrame& ack);
+
+}  // namespace quic

@@ -1,0 +1,856 @@
+#include "quic/connection.h"
+
+#include <algorithm>
+
+#include "crypto/dh.h"
+#include "crypto/sha256.h"
+
+namespace quic {
+
+namespace {
+
+constexpr uint16_t kSigAlgRsaPssSha256 = 0x0804;
+
+/// Builds the payload of an Initial datagram padded so the protected
+/// datagram reaches `target` bytes (RFC 9000 section 14.1).
+std::vector<uint8_t> pad_initial_payload(std::vector<Frame> frames,
+                                         size_t header_overhead,
+                                         size_t target) {
+  auto payload = encode_frames(frames);
+  size_t protected_size = header_overhead + payload.size() + 16 /* tag */;
+  if (protected_size < target) {
+    Frame padding = PaddingFrame{target - protected_size};
+    wire::Writer w;
+    w.bytes(payload);
+    encode_frame(w, padding);
+    payload = w.take();
+  }
+  return payload;
+}
+
+/// Header bytes an Initial long header occupies before the payload,
+/// assuming 2-byte packet numbers and an empty token.
+size_t initial_header_overhead(const ConnectionId& dcid,
+                               const ConnectionId& scid,
+                               size_t payload_estimate) {
+  // first(1) + version(4) + dcid len(1)+n + scid len(1)+n + token len(1)
+  // + length varint + pn(2)
+  size_t length_value = 2 + payload_estimate + 16;
+  return 1 + 4 + 1 + dcid.size() + 1 + scid.size() + 1 +
+         wire::varint_size(length_value) + 2;
+}
+
+std::vector<uint8_t> shared_secret_bytes(uint64_t secret,
+                                         std::span<const uint8_t> peer_pub) {
+  return crypto::dh_encode(crypto::dh_shared(secret,
+                                             crypto::dh_decode(peer_pub)));
+}
+
+const tls::TransportParametersExtension* find_tp_ext(
+    const std::vector<tls::Extension>& exts) {
+  return tls::find_transport_params(exts);
+}
+
+}  // namespace
+
+std::string to_string(ConnectResult result) {
+  switch (result) {
+    case ConnectResult::kPending: return "pending";
+    case ConnectResult::kSuccess: return "success";
+    case ConnectResult::kVersionMismatch: return "version-mismatch";
+    case ConnectResult::kCryptoError: return "crypto-error";
+    case ConnectResult::kTransportError: return "transport-error";
+    case ConnectResult::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+/// --- ClientConnection ------------------------------------------------
+
+ClientConnection::ClientConnection(ClientConfig config, crypto::Rng rng,
+                                   SendFn send, DoneFn done)
+    : config_(std::move(config)),
+      rng_(std::move(rng)),
+      send_(std::move(send)),
+      done_(std::move(done)) {}
+
+uint16_t ClientConnection::tp_codepoint() const {
+  // RFC 9001 assigns 0x39 for v1; every draft used 0xffa5.
+  return config_.version == kVersion1
+             ? static_cast<uint16_t>(
+                   tls::ExtensionType::kQuicTransportParameters)
+             : static_cast<uint16_t>(
+                   tls::ExtensionType::kQuicTransportParametersDraft);
+}
+
+tls::ClientHello ClientConnection::build_client_hello() {
+  tls::ClientHello ch;
+  auto random = rng_.bytes(32);
+  std::copy(random.begin(), random.end(), ch.random.begin());
+  ch.cipher_suites = {tls::CipherSuite::kAes128GcmSha256,
+                      tls::CipherSuite::kAes256GcmSha384,
+                      tls::CipherSuite::kChaCha20Poly1305Sha256};
+  if (config_.sni) ch.extensions.push_back(tls::SniExtension{*config_.sni});
+  if (!config_.alpn.empty())
+    ch.extensions.push_back(tls::AlpnExtension{config_.alpn});
+  ch.extensions.push_back(tls::SupportedGroupsExtension{
+      {static_cast<uint16_t>(tls::NamedGroup::kX25519),
+       static_cast<uint16_t>(tls::NamedGroup::kSecp256r1),
+       static_cast<uint16_t>(tls::NamedGroup::kSecp384r1)}});
+  ch.extensions.push_back(
+      tls::SignatureAlgorithmsExtension{{kSigAlgRsaPssSha256, 0x0403}});
+  ch.extensions.push_back(tls::SupportedVersionsExtension{{tls::kVersion13}});
+  ch.extensions.push_back(tls::KeyShareExtension{
+      {{static_cast<uint16_t>(tls::NamedGroup::kX25519),
+        crypto::dh_encode(key_pair_.public_value)}}});
+  TransportParameters tp = config_.transport_params;
+  tp.initial_source_connection_id = scid_;
+  ch.extensions.push_back(tls::TransportParametersExtension{
+      tp_codepoint(), encode_transport_parameters(tp)});
+  return ch;
+}
+
+void ClientConnection::start() { send_initial_flight(); }
+
+void ClientConnection::send_initial_flight() {
+  // After a Retry the client continues with the server-chosen DCID and
+  // derives fresh Initial keys from it (RFC 9001 section 5.2).
+  dcid_ = retry_dcid_ ? *retry_dcid_ : rng_.bytes(8);
+  scid_ = rng_.bytes(8);
+  key_pair_ = crypto::dh_generate(rng_.next());
+  key_schedule_ = tls::KeySchedule();
+  handshake_crypto_buffer_.clear();
+  pn_initial_ = pn_handshake_ = pn_app_ = 0;
+
+  initial_tx_ =
+      PacketProtector::for_initial(config_.version, dcid_, /*is_server=*/false);
+  initial_rx_ =
+      PacketProtector::for_initial(config_.version, dcid_, /*is_server=*/true);
+  handshake_tx_.reset();
+  handshake_rx_.reset();
+  app_tx_.reset();
+  app_rx_.reset();
+
+  auto ch = build_client_hello();
+  client_hello_bytes_ = tls::encode_handshake(ch);
+  key_schedule_.add_message(client_hello_bytes_);
+
+  Packet packet;
+  packet.type = PacketType::kInitial;
+  packet.version = config_.version;
+  packet.dcid = dcid_;
+  packet.scid = scid_;
+  packet.token = retry_token_;
+  packet.packet_number = pn_initial_++;
+  std::vector<Frame> frames{CryptoFrame{0, client_hello_bytes_}};
+  size_t overhead =
+      initial_header_overhead(dcid_, scid_, client_hello_bytes_.size() + 1100) +
+      retry_token_.size();
+  packet.payload =
+      pad_initial_payload(std::move(frames), overhead, kMinInitialDatagramSize);
+  // State must advance before send_: over a zero-latency loopback the
+  // reply can arrive nested inside the send callback.
+  state_ = State::kAwaitServerHello;
+  last_initial_datagram_ = initial_tx_->protect(packet);
+  send_(last_initial_datagram_);
+}
+
+void ClientConnection::retransmit_initial() {
+  if (state_ != State::kAwaitServerHello || last_initial_datagram_.empty())
+    return;
+  send_(last_initial_datagram_);
+}
+
+void ClientConnection::finish(ConnectResult result) {
+  if (state_ == State::kDone) return;
+  state_ = State::kDone;
+  report_.result = result;
+  report_.negotiated_version = config_.version;
+  if (done_) done_(report_);
+}
+
+void ClientConnection::process_version_negotiation(
+    const VersionNegotiationPacket& vn) {
+  report_.peer_versions = vn.supported_versions;
+  // A usable alternative is a compatible version the server claims to
+  // support, different from the one just rejected.
+  if (report_.version_retries == 0) {
+    for (Version v : config_.compatible_versions) {
+      if (v == config_.version) continue;
+      if (std::find(vn.supported_versions.begin(), vn.supported_versions.end(),
+                    v) != vn.supported_versions.end()) {
+        ++report_.version_retries;
+        config_.version = v;
+        send_initial_flight();
+        return;
+      }
+    }
+  }
+  finish(ConnectResult::kVersionMismatch);
+}
+
+void ClientConnection::on_datagram(std::span<const uint8_t> datagram) {
+  if (state_ == State::kDone) return;
+  auto info = peek_datagram(datagram);
+  if (!info) return;
+  if (info->long_header && info->version == 0) {
+    if (auto vn = decode_version_negotiation(datagram))
+      process_version_negotiation(*vn);
+    return;
+  }
+  if (info->long_header && info->type == PacketType::kRetry) {
+    // Accept at most one Retry, and only with a valid integrity tag
+    // over our original DCID (RFC 9001 section 5.8).
+    if (report_.retry_used) return;
+    auto retry = decode_retry(datagram, dcid_);
+    if (!retry || retry->scid.empty() || retry->token.empty()) return;
+    report_.retry_used = true;
+    retry_dcid_ = retry->scid;
+    retry_token_ = retry->token;
+    send_initial_flight();
+    return;
+  }
+
+  size_t offset = 0;
+  while (offset < datagram.size() && state_ != State::kDone) {
+    auto piece = peek_datagram(datagram.subspan(offset));
+    if (!piece) return;
+    std::optional<Packet> packet;
+    if (piece->long_header && piece->type == PacketType::kInitial &&
+        initial_rx_) {
+      packet = initial_rx_->unprotect(datagram, offset);
+      if (packet && !process_initial(*packet)) return;
+    } else if (piece->long_header && piece->type == PacketType::kHandshake &&
+               handshake_rx_) {
+      packet = handshake_rx_->unprotect(datagram, offset);
+      if (packet && !process_handshake(*packet)) return;
+    } else if (!piece->long_header && app_rx_) {
+      packet = app_rx_->unprotect(datagram, offset);
+      if (packet) process_one_rtt(*packet);
+    }
+    if (!packet) return;  // undecryptable; drop the rest of the datagram
+  }
+}
+
+bool ClientConnection::process_initial(const Packet& packet) {
+  std::vector<Frame> frames;
+  try {
+    frames = decode_frames(packet.payload);
+  } catch (const wire::DecodeError&) {
+    finish(ConnectResult::kInternalError);
+    return false;
+  }
+  if (const auto* close = find_close(frames)) {
+    report_.close_error_code = close->error_code;
+    report_.close_reason = close->reason_phrase;
+    finish(is_crypto_error(close->error_code) ? ConnectResult::kCryptoError
+                                              : ConnectResult::kTransportError);
+    return false;
+  }
+  const auto* crypto_frame = find_crypto(frames);
+  if (!crypto_frame) return true;  // bare ACK
+  if (state_ != State::kAwaitServerHello) return true;
+
+  tls::HandshakeMessage msg;
+  try {
+    wire::Reader r(crypto_frame->data);
+    msg = tls::decode_handshake(r);
+  } catch (const wire::DecodeError&) {
+    finish(ConnectResult::kInternalError);
+    return false;
+  }
+  const auto* sh = std::get_if<tls::ServerHello>(&msg);
+  if (!sh) {
+    finish(ConnectResult::kInternalError);
+    return false;
+  }
+  key_schedule_.add_message(crypto_frame->data);
+
+  report_.tls.negotiated_version = sh->negotiated_version();
+  report_.tls.cipher_suite = sh->cipher_suite;
+  const auto* ks = tls::find_key_share(sh->extensions);
+  if (!ks || ks->entries.empty()) {
+    finish(ConnectResult::kInternalError);
+    return false;
+  }
+  report_.tls.key_exchange_group = ks->entries[0].group;
+  for (const auto& ext : sh->extensions)
+    report_.tls.server_extensions.push_back(tls::extension_type(ext));
+
+  auto shared = shared_secret_bytes(key_pair_.secret,
+                                    ks->entries[0].key_exchange);
+  key_schedule_.derive_handshake_secrets(shared);
+  handshake_tx_ = PacketProtector(tls::derive_traffic_keys(
+      key_schedule_.client_handshake_secret(), tls::KeyUsage::kQuic));
+  handshake_rx_ = PacketProtector(tls::derive_traffic_keys(
+      key_schedule_.server_handshake_secret(), tls::KeyUsage::kQuic));
+  state_ = State::kAwaitServerFinished;
+  return true;
+}
+
+bool ClientConnection::process_handshake(const Packet& packet) {
+  if (state_ != State::kAwaitServerFinished) return true;
+  std::vector<Frame> frames;
+  try {
+    frames = decode_frames(packet.payload);
+  } catch (const wire::DecodeError&) {
+    finish(ConnectResult::kInternalError);
+    return false;
+  }
+  if (const auto* close = find_close(frames)) {
+    report_.close_error_code = close->error_code;
+    report_.close_reason = close->reason_phrase;
+    finish(is_crypto_error(close->error_code) ? ConnectResult::kCryptoError
+                                              : ConnectResult::kTransportError);
+    return false;
+  }
+  for (const auto& frame : frames) {
+    if (const auto* c = std::get_if<CryptoFrame>(&frame)) {
+      if (c->offset != handshake_crypto_buffer_.size())
+        continue;  // out-of-order; the simulation never reorders
+      handshake_crypto_buffer_.insert(handshake_crypto_buffer_.end(),
+                                      c->data.begin(), c->data.end());
+    }
+  }
+
+  // Try to parse the complete EE..Finished flight.
+  std::vector<tls::HandshakeMessage> flight;
+  try {
+    flight = tls::decode_handshake_flight(handshake_crypto_buffer_);
+  } catch (const wire::DecodeError&) {
+    return true;  // incomplete; wait for more CRYPTO data
+  }
+  bool have_finished = false;
+  for (const auto& m : flight)
+    if (std::holds_alternative<tls::Finished>(m)) have_finished = true;
+  if (!have_finished) return true;
+
+  // Re-walk the flight, updating the transcript message by message so
+  // the Finished check runs over CH..CertificateVerify.
+  wire::Reader raw(handshake_crypto_buffer_);
+  for (const auto& m : flight) {
+    size_t before = raw.position();
+    tls::decode_handshake(raw);  // advance to find the encoded length
+    size_t len = raw.position() - before;
+    std::span<const uint8_t> encoded{handshake_crypto_buffer_.data() + before,
+                                     len};
+    if (const auto* ee = std::get_if<tls::EncryptedExtensions>(&m)) {
+      if (const auto* tp = find_tp_ext(ee->extensions)) {
+        try {
+          report_.server_transport_params =
+              decode_transport_parameters(tp->payload);
+        } catch (const wire::DecodeError&) {
+          finish(ConnectResult::kInternalError);
+          return false;
+        }
+        // Downgrade protection (RFC 9368 section 4): the authenticated
+        // chosen version must match the version actually in use.
+        const auto& info = report_.server_transport_params.version_information;
+        if (info && info->chosen != config_.version) {
+          report_.close_error_code = 0x11;  // VERSION_NEGOTIATION_ERROR
+          report_.close_reason = "version downgrade detected";
+          finish(ConnectResult::kTransportError);
+          return false;
+        }
+      }
+      if (const auto* alpn = tls::find_alpn(ee->extensions);
+          alpn && !alpn->protocols.empty())
+        report_.tls.selected_alpn = alpn->protocols[0];
+      report_.tls.sni_echoed = tls::find_sni(ee->extensions) != nullptr;
+      for (const auto& ext : ee->extensions)
+        report_.tls.server_extensions.push_back(tls::extension_type(ext));
+    } else if (const auto* cert = std::get_if<tls::CertificateMessage>(&m)) {
+      report_.tls.certificate_chain = cert->chain;
+    } else if (std::holds_alternative<tls::Finished>(m)) {
+      auto expected = key_schedule_.finished_verify_data(
+          key_schedule_.server_handshake_secret());
+      if (std::get<tls::Finished>(m).verify_data != expected) {
+        finish(ConnectResult::kInternalError);
+        return false;
+      }
+    }
+    key_schedule_.add_message(encoded);
+  }
+  std::sort(report_.tls.server_extensions.begin(),
+            report_.tls.server_extensions.end());
+
+  // Application secrets come from the transcript through server
+  // Finished, which is exactly the current state.
+  key_schedule_.derive_application_secrets();
+  app_tx_ = PacketProtector(tls::derive_traffic_keys(
+      key_schedule_.client_application_secret(), tls::KeyUsage::kQuic));
+  app_rx_ = PacketProtector(tls::derive_traffic_keys(
+      key_schedule_.server_application_secret(), tls::KeyUsage::kQuic));
+
+  // Client flight: Initial ACK + Handshake Finished.
+  {
+    Packet ack_packet;
+    ack_packet.type = PacketType::kInitial;
+    ack_packet.version = config_.version;
+    ack_packet.dcid = dcid_;
+    ack_packet.scid = scid_;
+    ack_packet.packet_number = pn_initial_++;
+    ack_packet.payload = encode_frames({AckFrame{0, 0, 0, {}}, PingFrame{}});
+    auto datagram = initial_tx_->protect(ack_packet);
+
+    tls::Finished fin;
+    fin.verify_data = key_schedule_.finished_verify_data(
+        key_schedule_.client_handshake_secret());
+    Packet hs_packet;
+    hs_packet.type = PacketType::kHandshake;
+    hs_packet.version = config_.version;
+    hs_packet.dcid = dcid_;
+    hs_packet.scid = scid_;
+    hs_packet.packet_number = pn_handshake_++;
+    hs_packet.payload = encode_frames(
+        {CryptoFrame{0, tls::encode_handshake(fin)}, AckFrame{0, 0, 0, {}}});
+    auto hs_bytes = handshake_tx_->protect(hs_packet);
+    datagram.insert(datagram.end(), hs_bytes.begin(), hs_bytes.end());
+
+    if (config_.http_request) {
+      Packet req;
+      req.type = PacketType::kOneRtt;
+      req.dcid = dcid_;
+      req.packet_number = pn_app_++;
+      StreamFrame stream;
+      stream.stream_id = 0;
+      stream.fin = true;
+      stream.data.assign(config_.http_request->begin(),
+                         config_.http_request->end());
+      req.payload = encode_frames({std::move(stream)});
+      auto req_bytes = app_tx_->protect(req);
+      datagram.insert(datagram.end(), req_bytes.begin(), req_bytes.end());
+    }
+    state_ = State::kAwaitHttpResponse;  // before send_: reply may nest
+    send_(std::move(datagram));
+  }
+  return true;
+}
+
+void ClientConnection::process_one_rtt(const Packet& packet) {
+  std::vector<Frame> frames;
+  try {
+    frames = decode_frames(packet.payload);
+  } catch (const wire::DecodeError&) {
+    finish(ConnectResult::kInternalError);
+    return;
+  }
+  if (const auto* close = find_close(frames)) {
+    report_.close_error_code = close->error_code;
+    report_.close_reason = close->reason_phrase;
+    finish(is_crypto_error(close->error_code) ? ConnectResult::kCryptoError
+                                              : ConnectResult::kTransportError);
+    return;
+  }
+  for (const auto& frame : frames) {
+    if (std::holds_alternative<HandshakeDoneFrame>(frame))
+      report_.handshake_done_seen = true;
+    if (const auto* stream = std::get_if<StreamFrame>(&frame)) {
+      if (!report_.http_response) report_.http_response = std::string{};
+      report_.http_response->append(stream->data.begin(), stream->data.end());
+    }
+  }
+  bool want_http = config_.http_request.has_value();
+  bool http_ready = report_.http_response.has_value();
+  if (report_.handshake_done_seen && (!want_http || http_ready))
+    finish(ConnectResult::kSuccess);
+}
+
+/// --- ServerConnection ------------------------------------------------
+
+ServerConnection::ServerConnection(const DeploymentBehavior& behavior,
+                                   crypto::Rng rng, SendFn send)
+    : behavior_(behavior), rng_(std::move(rng)), send_(std::move(send)) {}
+
+void ServerConnection::respond_version_negotiation(const DatagramInfo& info) {
+  if (!behavior_.respond_to_version_negotiation) return;
+  VersionNegotiationPacket vn;
+  vn.dcid = info.scid;  // swap roles
+  vn.scid = info.dcid;
+  vn.supported_versions = behavior_.advertised_versions;
+  send_(encode_version_negotiation(vn, static_cast<uint8_t>(rng_.next())));
+  state_ = State::kClosed;
+}
+
+void ServerConnection::send_close(uint64_t error_code,
+                                  const std::string& reason) {
+  if (initial_tx_) {
+    Packet packet;
+    packet.type = PacketType::kInitial;
+    packet.version = version_;
+    packet.dcid = client_scid_;
+    packet.scid = scid_;
+    packet.packet_number = pn_initial_++;
+    ConnectionCloseFrame close;
+    close.error_code = error_code;
+    close.reason_phrase = reason;
+    std::vector<Frame> frames{std::move(close)};
+    size_t overhead =
+        initial_header_overhead(client_scid_, scid_, reason.size() + 32);
+    packet.payload = pad_initial_payload(std::move(frames), overhead,
+                                         kMinInitialDatagramSize);
+    send_(initial_tx_->protect(packet));
+  }
+  state_ = State::kClosed;
+}
+
+void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
+  if (state_ == State::kClosed) return;
+  auto info = peek_datagram(datagram);
+  if (!info) return;
+
+  if (state_ == State::kAwaitInitial) {
+    if (!info->long_header || info->type != PacketType::kInitial) return;
+    // RFC 9000 sections 5.2.2 / 14.1: under-sized Initial datagrams are
+    // dropped before any version handling -- including before Version
+    // Negotiation. The paper's padding ablation (section 3.1) hinges on
+    // this ordering.
+    if (behavior_.require_padding &&
+        datagram.size() < kMinInitialDatagramSize)
+      return;  // drop silently; client times out
+    if (behavior_.stall_handshake) {
+      // Middlebox answering version negotiation for a dead endpoint
+      // (Akamai/Fastly pattern, section 5.1): unknown versions still
+      // get a VN packet, but an Initial in an advertised version is
+      // forwarded into the void.
+      bool advertised =
+          std::find(behavior_.advertised_versions.begin(),
+                    behavior_.advertised_versions.end(),
+                    info->version) != behavior_.advertised_versions.end();
+      if (!advertised) respond_version_negotiation(*info);
+      state_ = State::kClosed;
+      return;
+    }
+    bool supported =
+        std::find(behavior_.handshake_versions.begin(),
+                  behavior_.handshake_versions.end(),
+                  info->version) != behavior_.handshake_versions.end();
+    if (!supported) {
+      respond_version_negotiation(*info);
+      return;
+    }
+    version_ = info->version;
+    client_dcid_ = info->dcid;
+    client_scid_ = info->scid;
+    initial_rx_ = PacketProtector::for_initial(version_, client_dcid_,
+                                               /*is_server=*/false);
+    initial_tx_ = PacketProtector::for_initial(version_, client_dcid_,
+                                               /*is_server=*/true);
+    size_t offset = 0;
+    auto packet = initial_rx_->unprotect(datagram, offset);
+    if (!packet) {
+      state_ = State::kClosed;
+      return;
+    }
+    if (behavior_.require_retry) {
+      if (packet->token.empty()) {
+        // Stateless Retry: the new CID and token both encode the
+        // original DCID so the follow-up Initial can be validated and
+        // the authenticating transport parameters filled in.
+        RetryPacket retry;
+        retry.version = version_;
+        retry.dcid = client_scid_;
+        auto digest = crypto::Sha256::hash(client_dcid_);
+        retry.scid.assign(digest.begin(), digest.begin() + 8);
+        retry.token.push_back('r');
+        retry.token.push_back('t');
+        retry.token.insert(retry.token.end(), client_dcid_.begin(),
+                           client_dcid_.end());
+        send_(encode_retry(retry, client_dcid_));
+        state_ = State::kClosed;  // stateless: next Initial = new session
+        return;
+      }
+      if (packet->token.size() < 2 || packet->token[0] != 'r' ||
+          packet->token[1] != 't') {
+        send_close(0x0b /* INVALID_TOKEN */, "invalid address validation token");
+        return;
+      }
+      original_dcid_.assign(packet->token.begin() + 2, packet->token.end());
+      retry_scid_ = client_dcid_;  // the CID our Retry told them to use
+    }
+    process_client_initial(*packet);
+    return;
+  }
+
+  // Post-Initial: walk coalesced packets.
+  size_t offset = 0;
+  while (offset < datagram.size() && state_ != State::kClosed) {
+    auto piece = peek_datagram(datagram.subspan(offset));
+    if (!piece) return;
+    std::optional<Packet> packet;
+    if (piece->long_header && piece->type == PacketType::kInitial &&
+        initial_rx_) {
+      packet = initial_rx_->unprotect(datagram, offset);
+      // A duplicate ClientHello means our flight was lost in transit:
+      // retransmit it (server-side PTO behavior). Plain Initial ACKs
+      // need no action.
+      if (packet && state_ == State::kAwaitFinished && !last_flight_.empty()) {
+        try {
+          auto frames = decode_frames(packet->payload);
+          if (find_crypto(frames) != nullptr) send_(last_flight_);
+        } catch (const wire::DecodeError&) {
+        }
+      }
+    } else if (piece->long_header && piece->type == PacketType::kHandshake &&
+               handshake_rx_) {
+      packet = handshake_rx_->unprotect(datagram, offset);
+      if (packet) process_client_handshake(*packet);
+    } else if (!piece->long_header && app_rx_) {
+      packet = app_rx_->unprotect(datagram, offset);
+      if (packet) process_client_one_rtt(*packet);
+    }
+    if (!packet) return;
+  }
+}
+
+void ServerConnection::process_client_initial(const Packet& packet) {
+  std::vector<Frame> frames;
+  try {
+    frames = decode_frames(packet.payload);
+  } catch (const wire::DecodeError&) {
+    state_ = State::kClosed;
+    return;
+  }
+  const auto* crypto_frame = find_crypto(frames);
+  if (!crypto_frame) return;
+
+  tls::HandshakeMessage msg;
+  try {
+    wire::Reader r(crypto_frame->data);
+    msg = tls::decode_handshake(r);
+  } catch (const wire::DecodeError&) {
+    send_close(kProtocolViolation, "malformed crypto data");
+    return;
+  }
+  const auto* ch = std::get_if<tls::ClientHello>(&msg);
+  if (!ch) {
+    send_close(kProtocolViolation, "expected ClientHello");
+    return;
+  }
+  key_schedule_.add_message(crypto_frame->data);
+  scid_ = rng_.bytes(8);
+
+  if (behavior_.always_handshake_failure) {
+    send_close(crypto_error(static_cast<uint8_t>(
+                   tls::AlertDescription::kHandshakeFailure)),
+               behavior_.handshake_failure_reason);
+    return;
+  }
+
+  // Certificate / SNI policy.
+  std::optional<std::string> sni;
+  if (const auto* s = tls::find_sni(ch->extensions)) sni = s->host_name;
+  if (!sni && behavior_.stall_without_sni) {
+    state_ = State::kClosed;  // swallowed: the client times out
+    return;
+  }
+  std::optional<tls::Certificate> cert;
+  if (behavior_.select_certificate) cert = behavior_.select_certificate(sni);
+  if (!cert) {
+    send_close(crypto_error(static_cast<uint8_t>(
+                   tls::AlertDescription::kHandshakeFailure)),
+               behavior_.handshake_failure_reason);
+    return;
+  }
+
+  // ALPN: first client preference the deployment supports.
+  std::optional<std::string> selected_alpn;
+  if (const auto* alpn = tls::find_alpn(ch->extensions)) {
+    for (const auto& p : alpn->protocols) {
+      if (std::find(behavior_.alpn.begin(), behavior_.alpn.end(), p) !=
+          behavior_.alpn.end()) {
+        selected_alpn = p;
+        break;
+      }
+    }
+    if (!selected_alpn) {
+      send_close(crypto_error(static_cast<uint8_t>(
+                     tls::AlertDescription::kNoApplicationProtocol)),
+                 "no application protocol");
+      return;
+    }
+  }
+
+  const auto* ks = tls::find_key_share(ch->extensions);
+  if (!ks || ks->entries.empty()) {
+    send_close(crypto_error(static_cast<uint8_t>(
+                   tls::AlertDescription::kMissingExtension)),
+               "missing key_share");
+    return;
+  }
+
+  // ServerHello.
+  auto server_pair = crypto::dh_generate(rng_.next());
+  tls::ServerHello sh;
+  auto random = rng_.bytes(32);
+  std::copy(random.begin(), random.end(), sh.random.begin());
+  sh.legacy_session_id_echo = ch->legacy_session_id;
+  sh.cipher_suite = tls::CipherSuite::kAes128GcmSha256;
+  sh.extensions.push_back(tls::SupportedVersionsExtension{{tls::kVersion13}});
+  sh.extensions.push_back(tls::KeyShareExtension{
+      {{ks->entries[0].group, crypto::dh_encode(server_pair.public_value)}}});
+  auto sh_bytes = tls::encode_handshake(sh);
+  key_schedule_.add_message(sh_bytes);
+
+  auto shared =
+      shared_secret_bytes(server_pair.secret, ks->entries[0].key_exchange);
+  key_schedule_.derive_handshake_secrets(shared);
+  client_hs_secret_ = key_schedule_.client_handshake_secret();
+  server_hs_secret_ = key_schedule_.server_handshake_secret();
+  handshake_tx_ = PacketProtector(
+      tls::derive_traffic_keys(server_hs_secret_, tls::KeyUsage::kQuic));
+  handshake_rx_ = PacketProtector(
+      tls::derive_traffic_keys(client_hs_secret_, tls::KeyUsage::kQuic));
+
+  // EncryptedExtensions with server transport parameters.
+  tls::EncryptedExtensions ee;
+  TransportParameters tp = behavior_.transport_params;
+  // Compatible Version Negotiation (paper ref. [40] / RFC 9368):
+  // authenticate the chosen version and advertise the full set, so a
+  // client can detect a VN-packet downgrade after the handshake.
+  TransportParameters::VersionInformation version_info;
+  version_info.chosen = version_;
+  version_info.available = behavior_.handshake_versions;
+  tp.version_information = std::move(version_info);
+  // After a Retry, the ODCID is the one recovered from the token and
+  // the Retry's SCID must be echoed (RFC 9000 section 7.3).
+  tp.original_destination_connection_id =
+      original_dcid_.empty() ? client_dcid_ : original_dcid_;
+  if (!retry_scid_.empty()) tp.retry_source_connection_id = retry_scid_;
+  tp.initial_source_connection_id = scid_;
+  tp.stateless_reset_token = rng_.bytes(16);
+  uint16_t tp_codepoint =
+      version_ == kVersion1
+          ? static_cast<uint16_t>(tls::ExtensionType::kQuicTransportParameters)
+          : static_cast<uint16_t>(
+                tls::ExtensionType::kQuicTransportParametersDraft);
+  ee.extensions.push_back(tls::TransportParametersExtension{
+      tp_codepoint, encode_transport_parameters(tp)});
+  if (selected_alpn)
+    ee.extensions.push_back(tls::AlpnExtension{{*selected_alpn}});
+  if (sni && behavior_.echo_sni)
+    ee.extensions.push_back(tls::SniExtension{});
+  auto ee_bytes = tls::encode_handshake(ee);
+  key_schedule_.add_message(ee_bytes);
+
+  tls::CertificateMessage cm;
+  cm.chain.push_back(*cert);
+  auto cm_bytes = tls::encode_handshake(cm);
+  key_schedule_.add_message(cm_bytes);
+
+  tls::CertificateVerify cv;
+  cv.algorithm = kSigAlgRsaPssSha256;
+  auto th = key_schedule_.transcript_hash();
+  auto key_bytes = crypto::dh_encode(cert->public_key_id);
+  auto sig = crypto::hmac_sha256(key_bytes, th);
+  cv.signature.assign(sig.begin(), sig.end());
+  auto cv_bytes = tls::encode_handshake(cv);
+  key_schedule_.add_message(cv_bytes);
+
+  tls::Finished fin;
+  fin.verify_data = key_schedule_.finished_verify_data(server_hs_secret_);
+  auto fin_bytes = tls::encode_handshake(fin);
+  key_schedule_.add_message(fin_bytes);
+
+  key_schedule_.derive_application_secrets();
+  app_tx_ = PacketProtector(tls::derive_traffic_keys(
+      key_schedule_.server_application_secret(), tls::KeyUsage::kQuic));
+  app_rx_ = PacketProtector(tls::derive_traffic_keys(
+      key_schedule_.client_application_secret(), tls::KeyUsage::kQuic));
+
+  // Transmit: Initial(ACK + SH) coalesced with Handshake(EE..Fin).
+  Packet init;
+  init.type = PacketType::kInitial;
+  init.version = version_;
+  init.dcid = client_scid_;
+  init.scid = scid_;
+  init.packet_number = pn_initial_++;
+  init.payload = encode_frames(
+      {AckFrame{packet.packet_number, 0, 0, {}}, CryptoFrame{0, sh_bytes}});
+  auto datagram = initial_tx_->protect(init);
+
+  std::vector<uint8_t> flight;
+  flight.insert(flight.end(), ee_bytes.begin(), ee_bytes.end());
+  flight.insert(flight.end(), cm_bytes.begin(), cm_bytes.end());
+  flight.insert(flight.end(), cv_bytes.begin(), cv_bytes.end());
+  flight.insert(flight.end(), fin_bytes.begin(), fin_bytes.end());
+  Packet hs;
+  hs.type = PacketType::kHandshake;
+  hs.version = version_;
+  hs.dcid = client_scid_;
+  hs.scid = scid_;
+  hs.packet_number = pn_handshake_++;
+  hs.payload = encode_frames({CryptoFrame{0, std::move(flight)}});
+  auto hs_bytes_out = handshake_tx_->protect(hs);
+  datagram.insert(datagram.end(), hs_bytes_out.begin(), hs_bytes_out.end());
+  state_ = State::kAwaitFinished;  // before send_: reply may nest
+  last_flight_ = datagram;
+  send_(std::move(datagram));
+}
+
+void ServerConnection::process_client_handshake(const Packet& packet) {
+  if (state_ != State::kAwaitFinished) return;
+  std::vector<Frame> frames;
+  try {
+    frames = decode_frames(packet.payload);
+  } catch (const wire::DecodeError&) {
+    state_ = State::kClosed;
+    return;
+  }
+  const auto* crypto_frame = find_crypto(frames);
+  if (!crypto_frame) return;
+  tls::HandshakeMessage msg;
+  try {
+    wire::Reader r(crypto_frame->data);
+    msg = tls::decode_handshake(r);
+  } catch (const wire::DecodeError&) {
+    state_ = State::kClosed;
+    return;
+  }
+  const auto* fin = std::get_if<tls::Finished>(&msg);
+  if (!fin) return;
+  auto expected = key_schedule_.finished_verify_data(client_hs_secret_);
+  if (fin->verify_data != expected) {
+    send_close(crypto_error(static_cast<uint8_t>(
+                   tls::AlertDescription::kHandshakeFailure)),
+               "finished verification failed");
+    return;
+  }
+  state_ = State::kEstablished;  // before send_: request may nest
+
+  // Handshake confirmed: HANDSHAKE_DONE in 1-RTT.
+  Packet done;
+  done.type = PacketType::kOneRtt;
+  done.dcid = client_scid_;
+  done.packet_number = pn_app_++;
+  done.payload = encode_frames({HandshakeDoneFrame{}});
+  send_(app_tx_->protect(done));
+}
+
+void ServerConnection::process_client_one_rtt(const Packet& packet) {
+  if (state_ != State::kEstablished) return;
+  std::vector<Frame> frames;
+  try {
+    frames = decode_frames(packet.payload);
+  } catch (const wire::DecodeError&) {
+    state_ = State::kClosed;
+    return;
+  }
+  const auto* stream = find_stream(frames);
+  if (!stream || !behavior_.http_responder) return;
+  std::string request(stream->data.begin(), stream->data.end());
+  std::string response = behavior_.http_responder(request);
+
+  Packet resp;
+  resp.type = PacketType::kOneRtt;
+  resp.dcid = client_scid_;
+  resp.packet_number = pn_app_++;
+  StreamFrame out;
+  out.stream_id = stream->stream_id;
+  out.fin = true;
+  out.data.assign(response.begin(), response.end());
+  resp.payload = encode_frames({HandshakeDoneFrame{}, std::move(out)});
+  send_(app_tx_->protect(resp));
+}
+
+}  // namespace quic

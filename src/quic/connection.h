@@ -1,0 +1,223 @@
+// Client and server QUIC connection state machines. The client side is
+// QScanner's engine: one full handshake per target, extracting TLS
+// details, the server's transport parameters and (optionally) an
+// HTTP/3-lite response. The server side executes a DeploymentBehavior
+// describing how a simulated endpoint acts on the wire -- including the
+// paper's observed anomalies (VN/handshake version mismatches, SNI-less
+// handshake failures, silent middlebox stalls).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/dh.h"
+#include "crypto/rng.h"
+#include "quic/frame.h"
+#include "quic/packet.h"
+#include "quic/transport_params.h"
+#include "quic/version.h"
+#include "tls/handshake.h"
+#include "tls/key_schedule.h"
+
+namespace quic {
+
+/// Terminal classification of a client connection attempt, mirroring
+/// the paper's Table 3 rows. kTimeout is assigned by the caller when no
+/// terminal state was reached within its deadline.
+enum class ConnectResult {
+  kPending,
+  kSuccess,
+  kVersionMismatch,  // VN received with no usable alternative
+  kCryptoError,      // CONNECTION_CLOSE with 0x01xx (e.g. the 0x128 alert)
+  kTransportError,   // any other CONNECTION_CLOSE
+  kInternalError,    // local protocol violation / undecryptable
+};
+
+std::string to_string(ConnectResult result);
+
+struct ClientConfig {
+  Version version = kVersion1;
+  /// Versions the scanner may retry with after a Version Negotiation
+  /// (QScanner supported draft 29/32/34, later v1).
+  std::vector<Version> compatible_versions;
+  std::optional<std::string> sni;
+  std::vector<std::string> alpn{"h3-29"};
+  TransportParameters transport_params;
+  /// When set, an HTTP/3-lite request is sent after the handshake and
+  /// the connection completes on the response.
+  std::optional<std::string> http_request;
+};
+
+/// Everything QScanner records about one attempt.
+struct ClientReport {
+  ConnectResult result = ConnectResult::kPending;
+  Version negotiated_version = 0;
+  std::vector<Version> peer_versions;  // from VN, if any
+  uint64_t close_error_code = 0;
+  std::string close_reason;
+  tls::TlsDetails tls;
+  TransportParameters server_transport_params;
+  bool handshake_done_seen = false;
+  std::optional<std::string> http_response;
+  int version_retries = 0;
+  /// True when the server demanded address validation via Retry.
+  bool retry_used = false;
+};
+
+class ClientConnection {
+ public:
+  using SendFn = std::function<void(std::vector<uint8_t> datagram)>;
+  using DoneFn = std::function<void(const ClientReport&)>;
+
+  ClientConnection(ClientConfig config, crypto::Rng rng, SendFn send,
+                   DoneFn done);
+
+  /// Sends the first Initial packet.
+  void start();
+
+  /// Retransmits the first flight verbatim if the handshake has not
+  /// progressed past it (probe-timeout behavior; scanners call this on
+  /// a PTO schedule so lossy paths degrade gracefully).
+  void retransmit_initial();
+
+  /// Feeds one received datagram into the state machine.
+  void on_datagram(std::span<const uint8_t> datagram);
+
+  bool finished() const { return report_.result != ConnectResult::kPending; }
+  const ClientReport& report() const { return report_; }
+
+ private:
+  void send_initial_flight();
+  void process_version_negotiation(const VersionNegotiationPacket& vn);
+  bool process_initial(const Packet& packet);
+  bool process_handshake(const Packet& packet);
+  void process_one_rtt(const Packet& packet);
+  void finish(ConnectResult result);
+  tls::ClientHello build_client_hello();
+  uint16_t tp_codepoint() const;
+
+  ClientConfig config_;
+  crypto::Rng rng_;
+  SendFn send_;
+  DoneFn done_;
+  ClientReport report_;
+
+  ConnectionId dcid_;  // initial destination CID (random)
+  ConnectionId scid_;
+  std::optional<ConnectionId> retry_dcid_;  // from a Retry's SCID
+  std::vector<uint8_t> retry_token_;
+  std::vector<uint8_t> last_initial_datagram_;  // for PTO retransmission
+  crypto::DhKeyPair key_pair_;
+  std::vector<uint8_t> client_hello_bytes_;
+  tls::KeySchedule key_schedule_;
+
+  std::optional<PacketProtector> initial_tx_, initial_rx_;
+  std::optional<PacketProtector> handshake_tx_, handshake_rx_;
+  std::optional<PacketProtector> app_tx_, app_rx_;
+
+  enum class State {
+    kIdle,
+    kAwaitServerHello,
+    kAwaitServerFinished,  // SH seen, waiting for the handshake flight
+    kAwaitHttpResponse,
+    kDone,
+  } state_ = State::kIdle;
+  uint64_t pn_initial_ = 0, pn_handshake_ = 0, pn_app_ = 0;
+  std::vector<uint8_t> handshake_crypto_buffer_;
+};
+
+/// --- Server side -----------------------------------------------------
+
+/// How a simulated deployment behaves on the wire. Populated by the
+/// internet model from provider profiles.
+struct DeploymentBehavior {
+  /// Versions a full handshake succeeds with.
+  std::vector<Version> handshake_versions{kVersion1};
+  /// Versions advertised in Version Negotiation packets; the Google
+  /// roll-out anomaly is advertised \ handshake_versions != {}.
+  std::vector<Version> advertised_versions{kVersion1};
+  /// RFC 9000 mandates answering an unknown version with VN, but the
+  /// paper found deployments that stay silent (section 4 "Overlap").
+  bool respond_to_version_negotiation = true;
+  /// Drop Initial packets below 1200 bytes (spec-conform); the paper's
+  /// padding experiment found almost all deployments enforce this.
+  bool require_padding = true;
+  /// Accept the Initial but never answer: the Akamai/Fastly middlebox
+  /// stall observed in section 5.1.
+  bool stall_handshake = false;
+  /// Stall only when the ClientHello carries no SNI (load balancers
+  /// that cannot route without it).
+  bool stall_without_sni = false;
+  /// Immediately fail every handshake with the 0x128 alert: Cloudflare
+  /// addresses that answer VN but host no QUIC service.
+  bool always_handshake_failure = false;
+  /// Stateless address validation: answer the first Initial with a
+  /// Retry carrying a token (RFC 9000 section 8.1.2).
+  bool require_retry = false;
+
+  TransportParameters transport_params;
+  std::vector<std::string> alpn{"h3-29"};
+
+  /// Certificate selection by SNI; nullopt means "no certificate for
+  /// that name" and fails the handshake with the 0x128 alert.
+  std::function<std::optional<tls::Certificate>(
+      const std::optional<std::string>& sni)>
+      select_certificate;
+  /// Echo the SNI extension in EncryptedExtensions when used.
+  bool echo_sni = true;
+
+  /// Implementation-specific alert wording (the paper fingerprints
+  /// implementations by these strings, section 5).
+  std::string handshake_failure_reason = "handshake failure";
+
+  /// HTTP responder for requests on stream 0; receives the raw request.
+  std::function<std::string(const std::string& request)> http_responder;
+};
+
+/// Server-side connection; one per (client endpoint, original DCID).
+class ServerConnection {
+ public:
+  using SendFn = std::function<void(std::vector<uint8_t> datagram)>;
+
+  ServerConnection(const DeploymentBehavior& behavior, crypto::Rng rng,
+                   SendFn send);
+
+  /// Feeds one client datagram; returns false once the connection is
+  /// dead (caller may drop it).
+  void on_datagram(std::span<const uint8_t> datagram);
+
+  bool closed() const { return state_ == State::kClosed; }
+
+ private:
+  void process_client_initial(const Packet& packet);
+  void process_client_handshake(const Packet& packet);
+  void process_client_one_rtt(const Packet& packet);
+  void send_close(uint64_t error_code, const std::string& reason);
+  void respond_version_negotiation(const DatagramInfo& info);
+
+  const DeploymentBehavior& behavior_;
+  crypto::Rng rng_;
+  SendFn send_;
+
+  ConnectionId client_dcid_;  // original, for initial keys
+  ConnectionId client_scid_;
+  ConnectionId scid_;  // our CID
+  ConnectionId original_dcid_;  // recovered from a Retry token
+  ConnectionId retry_scid_;     // CID our Retry instructed the client to use
+  Version version_ = 0;
+  tls::KeySchedule key_schedule_;
+  std::optional<PacketProtector> initial_tx_, initial_rx_;
+  std::optional<PacketProtector> handshake_tx_, handshake_rx_;
+  std::optional<PacketProtector> app_tx_, app_rx_;
+  std::vector<uint8_t> server_hs_secret_, client_hs_secret_;
+
+  enum class State { kAwaitInitial, kAwaitFinished, kEstablished, kClosed };
+  State state_ = State::kAwaitInitial;
+  std::vector<uint8_t> last_flight_;  // server flight, for retransmission
+  uint64_t pn_initial_ = 0, pn_handshake_ = 0, pn_app_ = 0;
+};
+
+}  // namespace quic

@@ -1,0 +1,76 @@
+#include "quic/flow_control.h"
+
+namespace quic {
+
+ConnectionFlowController::ConnectionFlowController(
+    const TransportParameters& peer_params)
+    : params_(peer_params),
+      connection_(peer_params.initial_max_data.value_or(0)) {}
+
+std::optional<uint64_t> ConnectionFlowController::open_bidi_stream() {
+  if (bidi_opened_ >= params_.initial_max_streams_bidi.value_or(0))
+    return std::nullopt;
+  ++bidi_opened_;
+  uint64_t id = next_bidi_;
+  next_bidi_ += 4;
+  // Client-opened bidi streams are bounded by the peer's "remote" limit
+  // (RFC 9000 section 18.2 naming is from the peer's perspective).
+  streams_.emplace(
+      id, FlowWindow(params_.initial_max_stream_data_bidi_remote.value_or(0)));
+  return id;
+}
+
+std::optional<uint64_t> ConnectionFlowController::open_uni_stream() {
+  if (uni_opened_ >= params_.initial_max_streams_uni.value_or(0))
+    return std::nullopt;
+  ++uni_opened_;
+  uint64_t id = next_uni_;
+  next_uni_ += 4;
+  streams_.emplace(
+      id, FlowWindow(params_.initial_max_stream_data_uni.value_or(0)));
+  return id;
+}
+
+FlowWindow& ConnectionFlowController::stream_window(uint64_t stream_id) {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end())
+    throw std::out_of_range("unknown stream " + std::to_string(stream_id));
+  return it->second;
+}
+
+uint64_t ConnectionFlowController::sendable_on(uint64_t stream_id) const {
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return 0;
+  return std::min(it->second.available(), connection_.available());
+}
+
+uint64_t ConnectionFlowController::send_on(uint64_t stream_id,
+                                           uint64_t want) {
+  auto& stream = stream_window(stream_id);
+  uint64_t granted = std::min(want, std::min(stream.available(),
+                                             connection_.available()));
+  stream.consume(granted);
+  connection_.consume(granted);
+  return granted;
+}
+
+void ConnectionFlowController::on_max_stream_data(uint64_t stream_id,
+                                                  uint64_t new_limit) {
+  stream_window(stream_id).raise(new_limit);
+}
+
+uint64_t ConnectionFlowController::first_flight_budget(
+    const TransportParameters& peer_params, uint64_t max_streams) {
+  ConnectionFlowController controller(peer_params);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < max_streams; ++i) {
+    auto stream = controller.open_bidi_stream();
+    if (!stream) break;
+    uint64_t sent = controller.send_on(*stream, UINT64_MAX);
+    total += sent;
+    if (controller.connection_available() == 0) break;
+  }
+  return total;
+}
+
+}  // namespace quic

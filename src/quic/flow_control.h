@@ -1,0 +1,93 @@
+// Stream and connection flow control (RFC 9000 section 4) driven by the
+// negotiated transport parameters. This is the machinery the paper's
+// section 5.2 parameters actually govern: initial_max_data bounds the
+// connection, initial_max_stream_data_* bound each stream, and
+// initial_max_streams_* bound concurrency -- the repository's
+// `ablation_tp_flow` bench quantifies the first-flight impact of every
+// catalog configuration through this module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "quic/transport_params.h"
+
+namespace quic {
+
+/// One direction of a flow-control window: an absolute limit that only
+/// ever grows, and an offset of consumed credit.
+class FlowWindow {
+ public:
+  explicit FlowWindow(uint64_t initial_limit) : limit_(initial_limit) {}
+
+  uint64_t limit() const { return limit_; }
+  uint64_t consumed() const { return consumed_; }
+  uint64_t available() const { return limit_ - consumed_; }
+
+  /// Consumes up to `want` bytes of credit; returns what was granted.
+  uint64_t consume(uint64_t want) {
+    uint64_t granted = std::min(want, available());
+    consumed_ += granted;
+    return granted;
+  }
+
+  /// True if consuming `amount` would violate the limit (a peer doing
+  /// so commits FLOW_CONTROL_ERROR, RFC 9000 section 4.1).
+  bool would_violate(uint64_t amount) const { return amount > available(); }
+
+  /// Raises the limit (MAX_DATA / MAX_STREAM_DATA); never shrinks.
+  void raise(uint64_t new_limit) {
+    if (new_limit > limit_) limit_ = new_limit;
+  }
+
+ private:
+  uint64_t limit_;
+  uint64_t consumed_ = 0;
+};
+
+/// Sender-side view of a peer's flow-control state, initialized from
+/// the peer's transport parameters.
+class ConnectionFlowController {
+ public:
+  explicit ConnectionFlowController(const TransportParameters& peer_params);
+
+  /// Opens the next bidirectional stream; nullopt once the peer's
+  /// initial_max_streams_bidi is exhausted.
+  std::optional<uint64_t> open_bidi_stream();
+  std::optional<uint64_t> open_uni_stream();
+
+  /// Credits usable on `stream_id` right now: the minimum of the
+  /// stream's window and the connection window.
+  uint64_t sendable_on(uint64_t stream_id) const;
+
+  /// Sends `want` bytes on the stream, consuming both windows; returns
+  /// the number actually sendable.
+  uint64_t send_on(uint64_t stream_id, uint64_t want);
+
+  /// Peer raised the connection limit (MAX_DATA frame).
+  void on_max_data(uint64_t new_limit) { connection_.raise(new_limit); }
+  /// Peer raised one stream's limit (MAX_STREAM_DATA frame).
+  void on_max_stream_data(uint64_t stream_id, uint64_t new_limit);
+
+  uint64_t connection_available() const { return connection_.available(); }
+  size_t open_streams() const { return streams_.size(); }
+
+  /// Total bytes transferable before any MAX_DATA/MAX_STREAM_DATA
+  /// update arrives, using up to `max_streams` bidirectional streams --
+  /// the "first-flight budget" a server's transport parameters admit.
+  static uint64_t first_flight_budget(const TransportParameters& peer_params,
+                                      uint64_t max_streams);
+
+ private:
+  FlowWindow& stream_window(uint64_t stream_id);
+
+  TransportParameters params_;
+  FlowWindow connection_;
+  std::map<uint64_t, FlowWindow> streams_;
+  uint64_t next_bidi_ = 0;  // client-initiated bidi ids: 0, 4, 8, ...
+  uint64_t next_uni_ = 2;   // client-initiated uni ids: 2, 6, 10, ...
+  uint64_t bidi_opened_ = 0, uni_opened_ = 0;
+};
+
+}  // namespace quic

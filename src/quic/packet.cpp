@@ -1,0 +1,385 @@
+#include "quic/packet.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace quic {
+
+namespace {
+
+constexpr size_t kPnLen = 2;
+constexpr size_t kHpSampleSize = 16;
+
+// Long header type bits (RFC 9000 section 17.2).
+constexpr uint8_t long_type_bits(PacketType type) {
+  switch (type) {
+    case PacketType::kInitial: return 0x0;
+    case PacketType::kZeroRtt: return 0x1;
+    case PacketType::kHandshake: return 0x2;
+    case PacketType::kRetry: return 0x3;
+    default: throw std::logic_error("not a long-header type");
+  }
+}
+
+PacketType type_from_bits(uint8_t bits) {
+  switch (bits & 0x3) {
+    case 0x0: return PacketType::kInitial;
+    case 0x1: return PacketType::kZeroRtt;
+    case 0x2: return PacketType::kHandshake;
+    default: return PacketType::kRetry;
+  }
+}
+
+}  // namespace
+
+std::optional<DatagramInfo> peek_datagram(std::span<const uint8_t> datagram) {
+  if (datagram.empty()) return std::nullopt;
+  DatagramInfo info;
+  info.payload_bytes = datagram.size();
+  uint8_t first = datagram[0];
+  info.long_header = first & 0x80;
+  info.fixed_bit = first & 0x40;
+  try {
+    wire::Reader r(datagram);
+    r.u8();
+    if (info.long_header) {
+      info.version = r.u32();
+      info.type = info.version == 0 ? PacketType::kVersionNegotiation
+                                    : type_from_bits(first >> 4);
+      size_t dcid_len = r.u8();
+      if (dcid_len > 20 && info.version != 0) return std::nullopt;
+      info.dcid = r.bytes_copy(dcid_len);
+      size_t scid_len = r.u8();
+      if (scid_len > 20 && info.version != 0) return std::nullopt;
+      info.scid = r.bytes_copy(scid_len);
+    } else {
+      info.type = PacketType::kOneRtt;
+      // Short headers carry no DCID length; the simulation uses 8-byte
+      // connection IDs uniformly.
+      info.dcid = r.bytes_copy(8);
+    }
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+  return info;
+}
+
+std::vector<uint8_t> encode_version_negotiation(
+    const VersionNegotiationPacket& vn, uint8_t random_bits) {
+  wire::Writer w;
+  // Header form 1, remaining 7 bits unused/random (RFC 9000 s. 17.2.1).
+  w.u8(0x80 | (random_bits & 0x7f));
+  w.u32(0);  // version 0 identifies VN
+  w.u8(static_cast<uint8_t>(vn.dcid.size()));
+  w.bytes(vn.dcid);
+  w.u8(static_cast<uint8_t>(vn.scid.size()));
+  w.bytes(vn.scid);
+  for (Version v : vn.supported_versions) w.u32(v);
+  return w.take();
+}
+
+std::optional<VersionNegotiationPacket> decode_version_negotiation(
+    std::span<const uint8_t> datagram) {
+  try {
+    wire::Reader r(datagram);
+    uint8_t first = r.u8();
+    if (!(first & 0x80)) return std::nullopt;
+    if (r.u32() != 0) return std::nullopt;
+    VersionNegotiationPacket vn;
+    vn.dcid = r.bytes_copy(r.u8());
+    vn.scid = r.bytes_copy(r.u8());
+    while (!r.done()) vn.supported_versions.push_back(r.u32());
+    if (vn.supported_versions.empty()) return std::nullopt;
+    return vn;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::span<const uint8_t> initial_salt(Version version) {
+  // RFC 9001 section 5.2 (v1 / draft-33+).
+  static const uint8_t kSaltV1[] = {0x38, 0x76, 0x2c, 0xf7, 0xf5, 0x59, 0x34,
+                                    0xb3, 0x4d, 0x17, 0x9a, 0xe6, 0xa4, 0xc8,
+                                    0x0c, 0xad, 0xcc, 0xbb, 0x7f, 0x0a};
+  // draft-ietf-quic-tls-29..32.
+  static const uint8_t kSaltDraft29[] = {0xaf, 0xbf, 0xec, 0x28, 0x99, 0x93,
+                                         0xd2, 0x4c, 0x9e, 0x97, 0x86, 0xf1,
+                                         0x9c, 0x61, 0x11, 0xe0, 0x43, 0x90,
+                                         0xa8, 0x99};
+  // draft-ietf-quic-tls-23..28.
+  static const uint8_t kSaltDraft23[] = {0xc3, 0xee, 0xf7, 0x12, 0xc7, 0x2e,
+                                         0xbb, 0x5a, 0x11, 0xa7, 0xd2, 0x43,
+                                         0x2b, 0xb4, 0x63, 0x65, 0xbe, 0xf9,
+                                         0xf5, 0x02};
+  if (is_ietf_draft(version)) {
+    int n = static_cast<int>(version & 0xff);
+    if (n >= 33) return {kSaltV1, sizeof kSaltV1};
+    if (n >= 29) return {kSaltDraft29, sizeof kSaltDraft29};
+    return {kSaltDraft23, sizeof kSaltDraft23};
+  }
+  // v1 and any non-draft version in the simulation use the RFC salt.
+  return {kSaltV1, sizeof kSaltV1};
+}
+
+InitialSecrets derive_initial_secrets(Version version,
+                                      std::span<const uint8_t> client_dcid) {
+  auto salt = initial_salt(version);
+  auto initial = crypto::hkdf_extract(salt, client_dcid);
+  InitialSecrets secrets;
+  secrets.client = crypto::hkdf_expand_label(initial, "client in", {},
+                                             crypto::kSha256DigestSize);
+  secrets.server = crypto::hkdf_expand_label(initial, "server in", {},
+                                             crypto::kSha256DigestSize);
+  return secrets;
+}
+
+PacketProtector::PacketProtector(const tls::TrafficKeys& keys)
+    : aead_(keys.key), hp_(keys.hp), iv_(keys.iv) {
+  if (keys.hp.empty())
+    throw std::invalid_argument(
+        "PacketProtector requires QUIC keys (hp missing)");
+}
+
+PacketProtector PacketProtector::for_initial(
+    Version version, std::span<const uint8_t> client_dcid, bool is_server) {
+  auto secrets = derive_initial_secrets(version, client_dcid);
+  const auto& secret = is_server ? secrets.server : secrets.client;
+  return PacketProtector(tls::derive_traffic_keys(secret,
+                                                  tls::KeyUsage::kQuic));
+}
+
+std::vector<uint8_t> PacketProtector::nonce_for(uint64_t pn) const {
+  std::vector<uint8_t> nonce = iv_;
+  for (int i = 0; i < 8; ++i)
+    nonce[nonce.size() - 1 - static_cast<size_t>(i)] ^=
+        static_cast<uint8_t>(pn >> (8 * i));
+  return nonce;
+}
+
+std::vector<uint8_t> PacketProtector::protect(const Packet& packet) const {
+  // Header protection samples 16 bytes of ciphertext starting
+  // 4 - pn_len bytes into it, so the plaintext payload must be at least
+  // 4 bytes; real stacks append PADDING frames exactly like this
+  // (RFC 9001 section 5.4.2).
+  Packet padded;
+  const Packet* p = &packet;
+  if (packet.payload.size() < 4) {
+    padded = packet;
+    padded.payload.resize(4, 0);  // 0x00 == PADDING
+    p = &padded;
+  }
+  return protect_padded(*p);
+}
+
+std::vector<uint8_t> PacketProtector::protect_padded(
+    const Packet& packet) const {
+  wire::Writer w;
+  size_t pn_offset;
+  if (packet.type == PacketType::kOneRtt) {
+    // Short header: 0b01000000 | key phase 0 | pn_len-1.
+    w.u8(0x40 | (kPnLen - 1));
+    w.bytes(packet.dcid);
+    pn_offset = w.size();
+  } else {
+    uint8_t first = static_cast<uint8_t>(
+        0x80 | 0x40 | (long_type_bits(packet.type) << 4) | (kPnLen - 1));
+    w.u8(first);
+    w.u32(packet.version);
+    w.u8(static_cast<uint8_t>(packet.dcid.size()));
+    w.bytes(packet.dcid);
+    w.u8(static_cast<uint8_t>(packet.scid.size()));
+    w.bytes(packet.scid);
+    if (packet.type == PacketType::kInitial) {
+      w.varint(packet.token.size());
+      w.bytes(packet.token);
+    }
+    // Length covers packet number + sealed payload.
+    w.varint(kPnLen + packet.payload.size() + crypto::kGcmTagSize);
+    pn_offset = w.size();
+  }
+  w.u16(static_cast<uint16_t>(packet.packet_number));
+
+  // AEAD: AAD is the whole header, nonce is iv XOR pn.
+  auto header = w.take();
+  auto sealed =
+      aead_.seal(nonce_for(packet.packet_number), header, packet.payload);
+
+  // Header protection (RFC 9001 section 5.4): sample 16 bytes of
+  // ciphertext starting 4 - pn_len bytes after the pn field.
+  std::vector<uint8_t> out = std::move(header);
+  out.insert(out.end(), sealed.begin(), sealed.end());
+  size_t sample_at = pn_offset + 4;
+  if (sample_at + kHpSampleSize > out.size())
+    throw std::invalid_argument("packet too short to header-protect");
+  auto mask = hp_.encrypt_block(
+      std::span<const uint8_t>(out.data() + sample_at, kHpSampleSize));
+  out[0] ^= mask[0] & (out[0] & 0x80 ? 0x0f : 0x1f);
+  for (size_t i = 0; i < kPnLen; ++i) out[pn_offset + i] ^= mask[1 + i];
+  return out;
+}
+
+std::optional<Packet> PacketProtector::unprotect(
+    std::span<const uint8_t> datagram, size_t& offset) const {
+  try {
+    auto remaining = datagram.subspan(offset);
+    wire::Reader r(remaining);
+    Packet packet;
+    uint8_t first = r.u8();
+    size_t pn_offset;
+    size_t sealed_len;
+    if (first & 0x80) {
+      packet.version = r.u32();
+      packet.type = type_from_bits(first >> 4);
+      packet.dcid = r.bytes_copy(r.u8());
+      packet.scid = r.bytes_copy(r.u8());
+      if (packet.type == PacketType::kInitial)
+        packet.token = r.bytes_copy(r.varint());
+      uint64_t length = r.varint();
+      pn_offset = r.position();
+      if (length < kPnLen + crypto::kGcmTagSize || length > r.remaining())
+        return std::nullopt;
+      sealed_len = static_cast<size_t>(length) - kPnLen;
+    } else {
+      packet.type = PacketType::kOneRtt;
+      packet.dcid = r.bytes_copy(8);
+      pn_offset = r.position();
+      if (r.remaining() < kPnLen + crypto::kGcmTagSize) return std::nullopt;
+      sealed_len = r.remaining() - kPnLen;
+    }
+
+    // Undo header protection.
+    size_t sample_at = pn_offset + 4;
+    if (sample_at + kHpSampleSize > remaining.size()) return std::nullopt;
+    auto mask = hp_.encrypt_block(remaining.subspan(sample_at, kHpSampleSize));
+    std::vector<uint8_t> header(remaining.begin(),
+                                remaining.begin() +
+                                    static_cast<long>(pn_offset + kPnLen));
+    header[0] ^= mask[0] & (header[0] & 0x80 ? 0x0f : 0x1f);
+    size_t pn_len = (header[0] & 0x03) + 1u;
+    if (pn_len != kPnLen) return std::nullopt;  // peer must use our encoding
+    uint64_t pn = 0;
+    for (size_t i = 0; i < kPnLen; ++i) {
+      header[pn_offset + i] ^= mask[1 + i];
+      pn = pn << 8 | header[pn_offset + i];
+    }
+    // Truncated pn == full pn: simulated handshakes stay far below 2^16.
+    packet.packet_number = pn;
+
+    auto sealed = remaining.subspan(pn_offset + kPnLen, sealed_len);
+    auto payload = aead_.open(nonce_for(pn), header, sealed);
+    if (!payload) return std::nullopt;
+    packet.payload = std::move(*payload);
+    offset += pn_offset + kPnLen + sealed_len;
+    return packet;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// RFC 9001 section 5.8 retry integrity keys (and draft equivalents).
+struct RetryKeys {
+  const uint8_t* key;
+  const uint8_t* nonce;
+};
+
+RetryKeys retry_keys(Version version) {
+  // v1 / draft-33+.
+  static const uint8_t kKeyV1[16] = {0xbe, 0x0c, 0x69, 0x0b, 0x9f, 0x66,
+                                     0x57, 0x5a, 0x1d, 0x76, 0x6b, 0x54,
+                                     0xe3, 0x68, 0xc8, 0x4e};
+  static const uint8_t kNonceV1[12] = {0x46, 0x15, 0x99, 0xd3, 0x5d, 0x63,
+                                       0x2b, 0xf2, 0x23, 0x98, 0x25, 0xbb};
+  // draft-29..32.
+  static const uint8_t kKeyD29[16] = {0xcc, 0xce, 0x18, 0x7e, 0xd0, 0x9a,
+                                      0x09, 0xd0, 0x57, 0x28, 0x15, 0x5a,
+                                      0x6c, 0xb9, 0x6b, 0xe1};
+  static const uint8_t kNonceD29[12] = {0xe5, 0x49, 0x30, 0xf9, 0x7f, 0x21,
+                                        0x36, 0xf0, 0x53, 0x0a, 0x8c, 0x1c};
+  // draft-25..28.
+  static const uint8_t kKeyD25[16] = {0x4d, 0x32, 0xec, 0xdb, 0x2a, 0x21,
+                                      0x33, 0xc8, 0x41, 0xe4, 0x04, 0x3d,
+                                      0xf2, 0x7d, 0x44, 0x30};
+  static const uint8_t kNonceD25[12] = {0x4d, 0x16, 0x11, 0xd0, 0x55, 0x13,
+                                        0xa5, 0x52, 0xc5, 0x87, 0xd5, 0x75};
+  if (is_ietf_draft(version)) {
+    int n = static_cast<int>(version & 0xff);
+    if (n >= 33) return {kKeyV1, kNonceV1};
+    if (n >= 29) return {kKeyD29, kNonceD29};
+    return {kKeyD25, kNonceD25};
+  }
+  return {kKeyV1, kNonceV1};
+}
+
+/// Retry packet bytes without the tag, given the header fields.
+std::vector<uint8_t> retry_header(const RetryPacket& retry) {
+  wire::Writer w;
+  w.u8(0x80 | 0x40 | (long_type_bits(PacketType::kRetry) << 4));
+  w.u32(retry.version);
+  w.u8(static_cast<uint8_t>(retry.dcid.size()));
+  w.bytes(retry.dcid);
+  w.u8(static_cast<uint8_t>(retry.scid.size()));
+  w.bytes(retry.scid);
+  w.bytes(retry.token);
+  return w.take();
+}
+
+/// The integrity tag is the GCM tag of an empty plaintext with the
+/// Retry pseudo-packet (ODCID-prefixed Retry) as AAD.
+std::array<uint8_t, 16> retry_tag(std::span<const uint8_t> header,
+                                  std::span<const uint8_t> odcid,
+                                  Version version) {
+  wire::Writer pseudo;
+  pseudo.u8(static_cast<uint8_t>(odcid.size()));
+  pseudo.bytes(odcid);
+  pseudo.bytes(header);
+  auto keys = retry_keys(version);
+  crypto::Aes128Gcm gcm(std::span<const uint8_t>(keys.key, 16));
+  auto sealed = gcm.seal(std::span<const uint8_t>(keys.nonce, 12),
+                         pseudo.span(), {});
+  std::array<uint8_t, 16> tag{};
+  std::copy(sealed.begin(), sealed.end(), tag.begin());
+  return tag;
+}
+
+}  // namespace
+
+std::vector<uint8_t> encode_retry(const RetryPacket& retry,
+                                  std::span<const uint8_t> odcid) {
+  auto bytes = retry_header(retry);
+  auto tag = retry_tag(bytes, odcid, retry.version);
+  bytes.insert(bytes.end(), tag.begin(), tag.end());
+  return bytes;
+}
+
+std::optional<RetryPacket> decode_retry(std::span<const uint8_t> datagram,
+                                        std::span<const uint8_t> odcid) {
+  try {
+    wire::Reader r(datagram);
+    uint8_t first = r.u8();
+    if (!(first & 0x80)) return std::nullopt;
+    RetryPacket retry;
+    retry.version = r.u32();
+    if (retry.version == 0 ||
+        type_from_bits(first >> 4) != PacketType::kRetry)
+      return std::nullopt;
+    retry.dcid = r.bytes_copy(r.u8());
+    retry.scid = r.bytes_copy(r.u8());
+    auto rest = r.rest();
+    if (rest.size() < 16) return std::nullopt;
+    retry.token.assign(rest.begin(), rest.end() - 16);
+    std::span<const uint8_t> tag = rest.subspan(rest.size() - 16);
+    auto expected = retry_tag(
+        std::span<const uint8_t>(datagram.data(), datagram.size() - 16),
+        odcid, retry.version);
+    uint8_t diff = 0;
+    for (size_t i = 0; i < 16; ++i) diff |= tag[i] ^ expected[i];
+    if (diff != 0) return std::nullopt;
+    return retry;
+  } catch (const wire::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace quic

@@ -1,0 +1,139 @@
+// QUIC packet layer: long/short header codec (RFC 9000 section 17),
+// Version Negotiation packets, and packet protection (RFC 9001
+// section 5) including version-specific Initial salts and AES-based
+// header protection. Coalesced datagrams (Initial + Handshake in one
+// UDP payload) are supported by the incremental unprotect API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.h"
+#include "quic/version.h"
+#include "tls/key_schedule.h"
+#include "wire/buffer.h"
+
+namespace quic {
+
+enum class PacketType : uint8_t {
+  kInitial,
+  kZeroRtt,
+  kHandshake,
+  kRetry,
+  kOneRtt,              // short header
+  kVersionNegotiation,  // long header, version 0
+};
+
+using ConnectionId = std::vector<uint8_t>;
+
+/// A plaintext packet before protection / after unprotection.
+struct Packet {
+  PacketType type = PacketType::kInitial;
+  Version version = kVersion1;  // long-header packets only
+  ConnectionId dcid;
+  ConnectionId scid;                 // long-header packets only
+  std::vector<uint8_t> token;        // Initial only
+  uint64_t packet_number = 0;
+  std::vector<uint8_t> payload;      // encoded frames
+};
+
+/// Minimal datagram triage without keys: enough for a stateless
+/// responder (ZMap-style) or connection demultiplexing.
+struct DatagramInfo {
+  bool long_header = false;
+  bool fixed_bit = false;
+  Version version = 0;
+  PacketType type = PacketType::kOneRtt;
+  ConnectionId dcid;
+  ConnectionId scid;  // long header only
+  size_t payload_bytes = 0;  // datagram size, for padding checks
+};
+
+std::optional<DatagramInfo> peek_datagram(std::span<const uint8_t> datagram);
+
+/// --- Version negotiation -------------------------------------------------
+
+struct VersionNegotiationPacket {
+  ConnectionId dcid;  // echo of client SCID
+  ConnectionId scid;  // echo of client DCID
+  std::vector<Version> supported_versions;
+};
+
+std::vector<uint8_t> encode_version_negotiation(
+    const VersionNegotiationPacket& vn, uint8_t random_bits);
+std::optional<VersionNegotiationPacket> decode_version_negotiation(
+    std::span<const uint8_t> datagram);
+
+/// --- Initial secrets ------------------------------------------------------
+
+/// The version-specific salt (RFC 9001 section 5.2 and the draft
+/// predecessors). Drafts <= 28, drafts 29-32 and draft-33+/v1 each used
+/// a different salt; a scanner probing with the wrong version cannot
+/// even unprotect the server's Initial, which is why version agility
+/// matters for QScanner.
+std::span<const uint8_t> initial_salt(Version version);
+
+struct InitialSecrets {
+  std::vector<uint8_t> client;
+  std::vector<uint8_t> server;
+};
+
+InitialSecrets derive_initial_secrets(Version version,
+                                      std::span<const uint8_t> client_dcid);
+
+/// --- Packet protection ----------------------------------------------------
+
+/// Seals/opens packets for one direction of one encryption level.
+class PacketProtector {
+ public:
+  explicit PacketProtector(const tls::TrafficKeys& keys);
+
+  /// Convenience: Initial-level protector.
+  static PacketProtector for_initial(Version version,
+                                     std::span<const uint8_t> client_dcid,
+                                     bool is_server);
+
+  /// Serializes, seals and header-protects `packet`. Packet numbers are
+  /// encoded in 2 bytes (ample for simulated handshakes).
+  std::vector<uint8_t> protect(const Packet& packet) const;
+
+  /// Opens the packet starting at `offset` within `datagram`; on
+  /// success advances `offset` past it (coalesced packet support).
+  /// Returns nullopt on authentication failure or malformed input.
+  std::optional<Packet> unprotect(std::span<const uint8_t> datagram,
+                                  size_t& offset) const;
+
+ private:
+  std::vector<uint8_t> protect_padded(const Packet& packet) const;
+  std::vector<uint8_t> nonce_for(uint64_t packet_number) const;
+  crypto::Aes128Gcm aead_;
+  crypto::Aes128 hp_;
+  std::vector<uint8_t> iv_;
+};
+
+inline constexpr size_t kMinInitialDatagramSize = 1200;  // RFC 9000 s. 14.1
+
+/// --- Retry packets (RFC 9000 section 17.2.5, RFC 9001 section 5.8) ---
+
+struct RetryPacket {
+  Version version = kVersion1;
+  ConnectionId dcid;  // client's SCID
+  ConnectionId scid;  // server-chosen CID the client must use next
+  std::vector<uint8_t> token;
+};
+
+/// Encodes a Retry packet including its integrity tag, which is the
+/// AES-128-GCM tag over the Retry pseudo-packet keyed by the
+/// version-specific constants from RFC 9001 section 5.8 (and the draft
+/// predecessors).
+std::vector<uint8_t> encode_retry(const RetryPacket& retry,
+                                  std::span<const uint8_t> odcid);
+
+/// Decodes and *verifies* a Retry packet; nullopt when the datagram is
+/// not a Retry or its integrity tag does not validate for `odcid`.
+std::optional<RetryPacket> decode_retry(std::span<const uint8_t> datagram,
+                                        std::span<const uint8_t> odcid);
+
+}  // namespace quic

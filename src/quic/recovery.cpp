@@ -1,0 +1,132 @@
+#include "quic/recovery.h"
+
+#include <algorithm>
+
+namespace quic {
+
+void RttEstimator::on_sample(uint64_t latest_rtt_us, uint64_t ack_delay_us) {
+  latest_ = latest_rtt_us;
+  min_rtt_ = std::min(min_rtt_, latest_rtt_us);
+  // Adjust for ack delay unless it would take the sample below min_rtt
+  // (RFC 9002 section 5.3).
+  uint64_t adjusted = latest_rtt_us;
+  if (adjusted > min_rtt_ + ack_delay_us) adjusted -= ack_delay_us;
+
+  if (!has_samples_) {
+    smoothed_ = adjusted;
+    rtt_var_ = adjusted / 2;
+    has_samples_ = true;
+    return;
+  }
+  uint64_t var_sample =
+      smoothed_ > adjusted ? smoothed_ - adjusted : adjusted - smoothed_;
+  rtt_var_ = (3 * rtt_var_ + var_sample) / 4;
+  smoothed_ = (7 * smoothed_ + adjusted) / 8;
+}
+
+uint64_t RttEstimator::pto_us(uint64_t max_ack_delay_us) const {
+  constexpr uint64_t kGranularityUs = 1'000;
+  return smoothed_rtt_us() + std::max(4 * rtt_var_us(), kGranularityUs) +
+         max_ack_delay_us;
+}
+
+CongestionController::CongestionController(Config config)
+    : config_(config),
+      cwnd_(config.initial_window_packets * config.max_datagram_size) {}
+
+void CongestionController::on_packet_acked(uint64_t bytes,
+                                           uint64_t sent_time_us,
+                                           bool app_limited) {
+  in_flight_ = in_flight_ >= bytes ? in_flight_ - bytes : 0;
+  // No window growth during recovery (packet predates the event) or
+  // while application-limited (RFC 9002 sections 7.3.2, 7.8).
+  if (recovery_start_us_ && sent_time_us <= *recovery_start_us_) return;
+  if (app_limited) return;
+  if (in_slow_start()) {
+    cwnd_ += bytes;
+    return;
+  }
+  // Congestion avoidance: one MSS per cwnd of acked bytes.
+  acked_since_increase_ += bytes;
+  if (acked_since_increase_ >= cwnd_) {
+    acked_since_increase_ -= cwnd_;
+    cwnd_ += config_.max_datagram_size;
+  }
+}
+
+void CongestionController::on_packets_lost(uint64_t bytes,
+                                           uint64_t largest_lost_sent_time_us,
+                                           uint64_t now_us) {
+  in_flight_ = in_flight_ >= bytes ? in_flight_ - bytes : 0;
+  // One cut per congestion event: ignore losses sent before the current
+  // recovery period started (RFC 9002 section 7.3.1).
+  if (recovery_start_us_ && largest_lost_sent_time_us <= *recovery_start_us_)
+    return;
+  recovery_start_us_ = now_us;
+  cwnd_ = cwnd_ * config_.loss_reduction_num / config_.loss_reduction_den;
+  uint64_t floor = config_.minimum_window_packets * config_.max_datagram_size;
+  cwnd_ = std::max(cwnd_, floor);
+  ssthresh_ = cwnd_;
+  acked_since_increase_ = 0;
+}
+
+void CongestionController::on_persistent_congestion() {
+  cwnd_ = config_.minimum_window_packets * config_.max_datagram_size;
+  ssthresh_ = cwnd_;
+  recovery_start_us_.reset();
+  acked_since_increase_ = 0;
+}
+
+void LossDetector::on_packet_sent(uint64_t packet_number, uint64_t bytes,
+                                  uint64_t sent_time_us) {
+  sent_.emplace(packet_number,
+                SentPacket{packet_number, bytes, sent_time_us});
+}
+
+LossDetector::AckOutcome LossDetector::on_ack(
+    const std::vector<std::pair<uint64_t, uint64_t>>& ranges, uint64_t now_us,
+    uint64_t smoothed_rtt_us) {
+  AckOutcome outcome;
+  uint64_t largest_in_ack = 0;
+  for (const auto& [start, end] : ranges)
+    largest_in_ack = std::max(largest_in_ack, end);
+
+  for (const auto& [start, end] : ranges) {
+    auto it = sent_.lower_bound(start);
+    while (it != sent_.end() && it->first <= end) {
+      if (it->first == largest_in_ack &&
+          (!any_acked_ || it->first > largest_acked_)) {
+        outcome.rtt_sample_us = now_us - it->second.sent_time_us;
+      }
+      outcome.newly_acked.push_back(it->second);
+      it = sent_.erase(it);
+    }
+  }
+  if (!outcome.newly_acked.empty()) {
+    largest_acked_ = std::max(largest_acked_, largest_in_ack);
+    any_acked_ = true;
+  }
+
+  // Loss detection (RFC 9002 section 6.1): a packet is lost when a
+  // later one was acknowledged and it trails by kPacketThreshold, or it
+  // was sent long enough before the newest ack (time threshold).
+  uint64_t time_threshold_us =
+      smoothed_rtt_us * kTimeThresholdNum / kTimeThresholdDen;
+  for (auto it = sent_.begin(); it != sent_.end();) {
+    bool packet_lost =
+        largest_acked_ >= it->first + kPacketThreshold;
+    bool time_lost = any_acked_ && it->second.sent_time_us + time_threshold_us +
+                                           smoothed_rtt_us <
+                                       now_us &&
+                     it->first < largest_acked_;
+    if (any_acked_ && (packet_lost || time_lost)) {
+      outcome.lost.push_back(it->second);
+      it = sent_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace quic

@@ -1,0 +1,127 @@
+// Loss detection and congestion control per RFC 9002: RTT estimation
+// (section 5), packet-threshold and time-threshold loss detection
+// (section 6.1), and NewReno-style congestion control with slow start,
+// congestion avoidance and persistent-congestion collapse (section 7).
+// QUIC folds transport reliability into the protocol itself (paper
+// section 2.1); this module completes that substrate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace quic {
+
+/// RFC 9002 section 5: smoothed RTT estimator.
+class RttEstimator {
+ public:
+  explicit RttEstimator(uint64_t initial_rtt_us = 333'000)
+      : initial_rtt_us_(initial_rtt_us) {}
+
+  /// Feeds one RTT sample; ack_delay is subtracted when it does not
+  /// push the sample below min_rtt (section 5.3).
+  void on_sample(uint64_t latest_rtt_us, uint64_t ack_delay_us = 0);
+
+  bool has_samples() const { return has_samples_; }
+  uint64_t smoothed_rtt_us() const {
+    return has_samples_ ? smoothed_ : initial_rtt_us_;
+  }
+  uint64_t rtt_var_us() const {
+    return has_samples_ ? rtt_var_ : initial_rtt_us_ / 2;
+  }
+  uint64_t min_rtt_us() const { return min_rtt_; }
+  uint64_t latest_rtt_us() const { return latest_; }
+
+  /// Probe timeout per section 6.2.1: srtt + max(4*rttvar, granularity)
+  /// + max_ack_delay.
+  uint64_t pto_us(uint64_t max_ack_delay_us = 25'000) const;
+
+ private:
+  uint64_t initial_rtt_us_;
+  bool has_samples_ = false;
+  uint64_t smoothed_ = 0, rtt_var_ = 0;
+  uint64_t min_rtt_ = UINT64_MAX, latest_ = 0;
+};
+
+/// RFC 9002 section 7: NewReno congestion controller.
+class CongestionController {
+ public:
+  struct Config {
+    uint64_t max_datagram_size = 1200;
+    uint64_t initial_window_packets = 10;  // section 7.2
+    uint64_t minimum_window_packets = 2;
+    uint64_t loss_reduction_num = 1, loss_reduction_den = 2;  // kLossReductionFactor
+  };
+  CongestionController() : CongestionController(Config{}) {}
+  explicit CongestionController(Config config);
+
+  uint64_t congestion_window() const { return cwnd_; }
+  uint64_t bytes_in_flight() const { return in_flight_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  uint64_t available() const {
+    return in_flight_ >= cwnd_ ? 0 : cwnd_ - in_flight_;
+  }
+
+  void on_packet_sent(uint64_t bytes) { in_flight_ += bytes; }
+
+  /// Ack of `bytes` sent at `sent_time_us`; no growth while
+  /// application-limited if the caller says so.
+  void on_packet_acked(uint64_t bytes, uint64_t sent_time_us,
+                       bool app_limited = false);
+
+  /// Packets declared lost: shrink once per congestion event (packets
+  /// sent before the recovery start do not trigger another cut).
+  void on_packets_lost(uint64_t bytes, uint64_t largest_lost_sent_time_us,
+                       uint64_t now_us);
+
+  /// Persistent congestion (section 7.6): collapse to minimum.
+  void on_persistent_congestion();
+
+ private:
+  Config config_;
+  uint64_t cwnd_;
+  uint64_t ssthresh_ = UINT64_MAX;
+  uint64_t in_flight_ = 0;
+  uint64_t acked_since_increase_ = 0;
+  std::optional<uint64_t> recovery_start_us_;
+};
+
+/// RFC 9002 section 6: sent-packet ledger with packet- and time-
+/// threshold loss detection.
+class LossDetector {
+ public:
+  static constexpr uint64_t kPacketThreshold = 3;     // section 6.1.1
+  static constexpr int kTimeThresholdNum = 9, kTimeThresholdDen = 8;
+
+  struct SentPacket {
+    uint64_t packet_number;
+    uint64_t bytes;
+    uint64_t sent_time_us;
+  };
+
+  void on_packet_sent(uint64_t packet_number, uint64_t bytes,
+                      uint64_t sent_time_us);
+
+  struct AckOutcome {
+    std::vector<SentPacket> newly_acked;
+    std::vector<SentPacket> lost;
+    /// RTT sample from the largest newly-acked packet, if it is the
+    /// largest ever acknowledged.
+    std::optional<uint64_t> rtt_sample_us;
+  };
+
+  /// Processes acknowledged ranges [(start, end)...]; `now_us` drives
+  /// the RTT sample, `srtt` the time threshold.
+  AckOutcome on_ack(const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+                    uint64_t now_us, uint64_t smoothed_rtt_us);
+
+  size_t outstanding() const { return sent_.size(); }
+
+ private:
+  std::map<uint64_t, SentPacket> sent_;
+  uint64_t largest_acked_ = 0;
+  bool any_acked_ = false;
+};
+
+}  // namespace quic

@@ -1,0 +1,67 @@
+#include "quic/version.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace quic {
+
+std::string version_name(Version v) {
+  if (v == kVersion1) return "ietf-01";
+  if (is_ietf_draft(v)) return "draft-" + std::to_string(v & 0xff);
+  if (is_google(v)) {
+    char buf[5] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16),
+                   static_cast<char>(v >> 8), static_cast<char>(v), 0};
+    return buf;
+  }
+  if (v == kMvfst1) return "mvfst-1";
+  if (v == kMvfst2) return "mvfst-2";
+  if (v == kMvfstE) return "mvfst-e";
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+std::optional<Version> version_from_name(const std::string& name) {
+  if (name == "ietf-01") return kVersion1;
+  if (name.rfind("draft-", 0) == 0)
+    return draft_version(std::atoi(name.c_str() + 6));
+  if (name.size() == 4 && (name[0] == 'Q' || name[0] == 'T'))
+    return google_version(name[0], std::atoi(name.c_str() + 1));
+  if (name == "mvfst-1") return kMvfst1;
+  if (name == "mvfst-2") return kMvfst2;
+  if (name == "mvfst-e") return kMvfstE;
+  if (name.rfind("0x", 0) == 0)
+    return static_cast<Version>(std::strtoul(name.c_str(), nullptr, 16));
+  return std::nullopt;
+}
+
+std::string version_set_name(std::vector<Version> versions) {
+  // Order classes the way the paper's Figure 5 legend does: mvfst first,
+  // then IETF (newest first), then Google QUIC (newest first).
+  auto klass = [](Version v) {
+    if (is_mvfst(v)) return 0;
+    if (is_ietf(v)) return 1;
+    return 2;
+  };
+  // Within-class keys reproducing the paper's legend strings: numbered
+  // mvfst versions before the experimental one; ietf-01 ahead of drafts.
+  auto key = [&](Version v) -> uint64_t {
+    if (v == kMvfstE) return 0;              // "mvfst-e" last among mvfst
+    if (v == kVersion1) return UINT64_MAX;   // "ietf-01" first among IETF
+    return v;
+  };
+  std::sort(versions.begin(), versions.end(), [&](Version a, Version b) {
+    if (klass(a) != klass(b)) return klass(a) < klass(b);
+    return key(a) > key(b);
+  });
+  versions.erase(std::unique(versions.begin(), versions.end()),
+                 versions.end());
+  std::string out;
+  for (Version v : versions) {
+    if (!out.empty()) out += " ";
+    out += version_name(v);
+  }
+  return out;
+}
+
+}  // namespace quic

@@ -1,0 +1,78 @@
+// QUIC version registry. The paper's measurements span IETF drafts,
+// "Version 1" (labeled ietf-01 in its figures), Google QUIC (Q0xx
+// without TLS, T0xx with TLS) and Facebook's mvfst versions; this
+// registry provides wire values, paper-consistent display names and the
+// classification predicates used throughout the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace quic {
+
+using Version = uint32_t;
+
+inline constexpr Version kVersion1 = 0x00000001;  // RFC 9000, "ietf-01"
+
+constexpr Version draft_version(int n) {
+  return 0xff000000u | static_cast<uint32_t>(n);
+}
+
+inline constexpr Version kDraft27 = draft_version(27);
+inline constexpr Version kDraft28 = draft_version(28);
+inline constexpr Version kDraft29 = draft_version(29);
+inline constexpr Version kDraft32 = draft_version(32);
+inline constexpr Version kDraft34 = draft_version(34);
+
+// Google QUIC versions are ASCII, e.g. "Q050" = 0x51303530.
+constexpr Version google_version(char kind, int n) {
+  return static_cast<uint32_t>(kind) << 24 |
+         static_cast<uint32_t>('0' + n / 100 % 10) << 16 |
+         static_cast<uint32_t>('0' + n / 10 % 10) << 8 |
+         static_cast<uint32_t>('0' + n % 10);
+}
+
+inline constexpr Version kQ039 = google_version('Q', 39);
+inline constexpr Version kQ043 = google_version('Q', 43);
+inline constexpr Version kQ046 = google_version('Q', 46);
+inline constexpr Version kQ048 = google_version('Q', 48);
+inline constexpr Version kQ050 = google_version('Q', 50);
+inline constexpr Version kQ099 = google_version('Q', 99);
+inline constexpr Version kT048 = google_version('T', 48);
+inline constexpr Version kT051 = google_version('T', 51);
+
+// Facebook mvfst.
+inline constexpr Version kMvfst1 = 0xfaceb001;
+inline constexpr Version kMvfst2 = 0xfaceb002;
+inline constexpr Version kMvfstE = 0xfaceb00e;
+
+/// Reserved greasing pattern 0x?a?a?a?a (RFC 9000 section 15): never a
+/// real version, guaranteed to force a Version Negotiation. The ZMap
+/// module sends this.
+inline constexpr Version kForceNegotiation = 0x1a2a3a4a;
+
+constexpr bool is_force_negotiation(Version v) {
+  return (v & 0x0f0f0f0f) == 0x0a0a0a0a;
+}
+
+constexpr bool is_ietf_draft(Version v) { return (v & 0xff000000) == 0xff000000; }
+constexpr bool is_ietf(Version v) { return v == kVersion1 || is_ietf_draft(v); }
+constexpr bool is_google(Version v) {
+  uint8_t hi = static_cast<uint8_t>(v >> 24);
+  return hi == 'Q' || hi == 'T';
+}
+constexpr bool is_mvfst(Version v) { return (v & 0xfffffff0) == 0xfaceb000; }
+
+/// Paper-style display name: "ietf-01", "draft-29", "Q050", "mvfst-2"...
+std::string version_name(Version v);
+
+/// Inverse of version_name for the names used in this repo.
+std::optional<Version> version_from_name(const std::string& name);
+
+/// Canonical ", "-joined display of a version set (sorted as the paper
+/// plots them: mvfst, ietf, google descending within class).
+std::string version_set_name(std::vector<Version> versions);
+
+}  // namespace quic

@@ -1,0 +1,24 @@
+#include "scanner/dns_scan.h"
+
+namespace scanner {
+
+DnsListScan DnsScanner::scan_list(const std::string& list_name,
+                                  std::span<const std::string> domains) {
+  DnsListScan scan;
+  scan.list = list_name;
+  dns::BulkResolver resolver(zones_);
+  for (const auto& domain : domains) {
+    auto records = resolver.resolve_all({domain});
+    ++scan.domains_resolved;
+    auto& record = records[0];
+    if (!record.a.empty()) ++scan.with_a;
+    if (!record.aaaa.empty()) ++scan.with_aaaa;
+    if (record.has_https_rr()) ++scan.with_https_rr;
+    if (!record.a.empty() || !record.aaaa.empty() || record.has_https_rr())
+      scan.records.push_back(std::move(record));
+  }
+  queries_sent_ += resolver.queries_sent();
+  return scan;
+}
+
+}  // namespace scanner

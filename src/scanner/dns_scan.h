@@ -1,0 +1,46 @@
+// DNS scanning pipeline (section 3.2): MassDNS-style bulk resolution of
+// the input lists for A, AAAA and HTTPS records. The HTTPS-RR pass is
+// the paper's lightweight QUIC-discovery channel; A/AAAA resolutions
+// feed the SNI joins of the other scanners.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/resolver.h"
+
+namespace scanner {
+
+struct DnsListScan {
+  std::string list;
+  size_t domains_resolved = 0;
+  size_t with_https_rr = 0;
+  size_t with_a = 0;
+  size_t with_aaaa = 0;
+  /// Records that carried any useful data (QUIC-relevant subset; pure
+  /// NXDOMAIN fillers are counted but not stored).
+  std::vector<dns::BulkRecord> records;
+
+  double https_rr_rate() const {
+    return domains_resolved ? static_cast<double>(with_https_rr) /
+                                  static_cast<double>(domains_resolved)
+                            : 0.0;
+  }
+};
+
+class DnsScanner {
+ public:
+  explicit DnsScanner(const dns::ZoneStore& zones) : zones_(zones) {}
+
+  DnsListScan scan_list(const std::string& list_name,
+                        std::span<const std::string> domains);
+
+  uint64_t queries_sent() const { return queries_sent_; }
+
+ private:
+  const dns::ZoneStore& zones_;
+  uint64_t queries_sent_ = 0;
+};
+
+}  // namespace scanner

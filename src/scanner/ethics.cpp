@@ -1,0 +1,33 @@
+#include "scanner/ethics.h"
+
+namespace scanner {
+
+bool Blocklist::blocked(const netsim::IpAddress& addr) const {
+  for (const auto& prefix : prefixes_)
+    if (prefix.contains(addr)) return true;
+  return false;
+}
+
+std::vector<netsim::IpAddress> Blocklist::filter(
+    std::span<const netsim::IpAddress> targets) const {
+  std::vector<netsim::IpAddress> out;
+  out.reserve(targets.size());
+  for (const auto& addr : targets)
+    if (!blocked(addr)) out.push_back(addr);
+  return out;
+}
+
+bool DomainCap::accept(const netsim::IpAddress& addr) {
+  std::pair<uint64_t, uint64_t> key;
+  if (addr.is_v4()) {
+    key = {0, addr.v4_value()};
+  } else {
+    key = {addr.v6_hi(), addr.v6_lo()};
+  }
+  size_t& count = counts_[key];
+  if (count >= limit_) return false;
+  ++count;
+  return true;
+}
+
+}  // namespace scanner

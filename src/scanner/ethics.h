@@ -1,0 +1,57 @@
+// Operational controls from the paper's Appendix A that exist as code:
+// a prefix blocklist honoring opt-out requests, probe rate limiting,
+// and the per-IP domain cap (at most 100 domains per address and source
+// for SNI scans) that keeps load on hosting providers bounded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "netsim/address.h"
+
+namespace scanner {
+
+class Blocklist {
+ public:
+  void add(const netsim::Prefix& prefix) { prefixes_.push_back(prefix); }
+  bool blocked(const netsim::IpAddress& addr) const;
+
+  /// Returns targets with blocked addresses removed.
+  std::vector<netsim::IpAddress> filter(
+      std::span<const netsim::IpAddress> targets) const;
+
+  size_t size() const { return prefixes_.size(); }
+
+ private:
+  std::vector<netsim::Prefix> prefixes_;
+};
+
+/// Probe pacing: spaces sends so the scan stays below `packets_per_second`
+/// (the paper scanned at up to 15 k pps).
+class RateLimiter {
+ public:
+  explicit RateLimiter(uint64_t packets_per_second)
+      : interval_us_(packets_per_second ? 1'000'000 / packets_per_second : 0) {}
+  /// Virtual-time timestamp for the i-th probe.
+  uint64_t send_time_us(uint64_t i) const { return i * interval_us_; }
+  uint64_t interval_us() const { return interval_us_; }
+
+ private:
+  uint64_t interval_us_;
+};
+
+/// Enforces the Appendix-A cap of `limit` domains per IP address per
+/// source. Call accept() in input order; returns false past the cap.
+class DomainCap {
+ public:
+  explicit DomainCap(size_t limit = 100) : limit_(limit) {}
+  bool accept(const netsim::IpAddress& addr);
+
+ private:
+  size_t limit_;
+  std::map<std::pair<uint64_t, uint64_t>, size_t> counts_;
+};
+
+}  // namespace scanner

@@ -1,0 +1,66 @@
+#include "scanner/tcp_tls.h"
+
+#include "http/message.h"
+
+namespace scanner {
+
+TcpTlsScanner::TcpTlsScanner(netsim::Network& network, TcpTlsOptions options)
+    : network_(network), options_(std::move(options)) {}
+
+std::vector<netsim::IpAddress> TcpTlsScanner::syn_scan(
+    std::span<const netsim::IpAddress> targets) {
+  std::vector<netsim::IpAddress> open;
+  for (const auto& addr : targets)
+    if (network_.tcp_port_open({addr, 443})) open.push_back(addr);
+  return open;
+}
+
+TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
+  ++attempts_;
+  TcpTlsResult result;
+  result.target = target;
+  const auto& source =
+      target.address.is_v4() ? options_.source_v4 : options_.source_v6;
+  uint16_t port = static_cast<uint16_t>(30000 + attempts_ % 30000);
+  auto connection =
+      network_.tcp_connect({source, port}, {target.address, 443});
+  if (!connection) return result;
+  result.port_open = true;
+
+  tls::TlsClient client(
+      crypto::Rng(options_.seed ^ attempts_ * 0x9e3779b97f4a7c15ull),
+      target.sni, {"h2", "http/1.1"});
+  std::optional<std::string> http_request;
+  if (options_.send_http) {
+    auto request = http::head_request(target.sni.value_or(""));
+    request.method = "GET";  // the group's regular scans send GET
+    http_request = request.serialize();
+  }
+  auto outcome = client.run(
+      [&](std::span<const uint8_t> data) { return connection->exchange(data); },
+      http_request);
+  result.handshake_ok = outcome.handshake_ok;
+  result.alert = outcome.alert;
+  result.details = std::move(outcome.details);
+  if (outcome.http_response) {
+    if (auto response = http::Response::parse(*outcome.http_response)) {
+      result.http_ok = response->status >= 200 && response->status < 400;
+      result.response_headers = response->headers;
+      if (auto header = response->headers.get("alt-svc")) {
+        if (auto entries = http::parse_alt_svc(*header))
+          result.alt_svc = std::move(*entries);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<TcpTlsResult> TcpTlsScanner::scan(
+    std::span<const TcpTarget> targets) {
+  std::vector<TcpTlsResult> out;
+  out.reserve(targets.size());
+  for (const auto& target : targets) out.push_back(scan_one(target));
+  return out;
+}
+
+}  // namespace scanner

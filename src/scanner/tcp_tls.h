@@ -1,0 +1,62 @@
+// TLS-over-TCP scanner (section 3.3): the Goscanner analogue. A TCP SYN
+// sweep on port 443 followed by stateful TLS 1.3 handshakes -- once
+// without and once with SNI -- plus an HTTP request to collect headers,
+// most importantly Alt-Svc (the second QUIC-discovery channel) and the
+// TLS properties compared against QUIC in Table 5.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "http/alt_svc.h"
+#include "http/headers.h"
+#include "netsim/network.h"
+#include "tls/endpoint.h"
+
+namespace scanner {
+
+struct TcpTarget {
+  netsim::IpAddress address;
+  std::optional<std::string> sni;
+};
+
+struct TcpTlsResult {
+  TcpTarget target;
+  bool port_open = false;
+  bool handshake_ok = false;
+  std::optional<tls::AlertDescription> alert;
+  tls::TlsDetails details;
+  bool http_ok = false;
+  http::Headers response_headers;
+  /// Parsed Alt-Svc entries (empty when the header is absent).
+  std::vector<http::AltSvcEntry> alt_svc;
+};
+
+struct TcpTlsOptions {
+  netsim::IpAddress source_v4 = netsim::IpAddress::v4(0xc0000203);
+  netsim::IpAddress source_v6 =
+      netsim::IpAddress::v6(0x20010db800005ca0ull, 3);
+  uint64_t seed = 0x7c9;
+  bool send_http = true;
+};
+
+class TcpTlsScanner {
+ public:
+  TcpTlsScanner(netsim::Network& network, TcpTlsOptions options);
+
+  /// SYN scan: which of `targets` have port 443 open.
+  std::vector<netsim::IpAddress> syn_scan(
+      std::span<const netsim::IpAddress> targets);
+
+  TcpTlsResult scan_one(const TcpTarget& target);
+  std::vector<TcpTlsResult> scan(std::span<const TcpTarget> targets);
+
+ private:
+  netsim::Network& network_;
+  TcpTlsOptions options_;
+  uint64_t attempts_ = 0;
+};
+
+}  // namespace scanner

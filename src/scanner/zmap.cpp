@@ -1,0 +1,79 @@
+#include "scanner/zmap.h"
+
+#include <map>
+
+#include "crypto/rng.h"
+#include "wire/buffer.h"
+
+namespace scanner {
+
+ZmapQuicScanner::ZmapQuicScanner(netsim::Network& network, ZmapOptions options)
+    : network_(network), options_(std::move(options)) {}
+
+std::vector<uint8_t> ZmapQuicScanner::build_probe(crypto::Rng& rng) const {
+  // Initial-shaped long header with the forcing version. Contents after
+  // the connection IDs are unencrypted junk: the server must inspect
+  // the version first and answer VN without trying to decrypt.
+  wire::Writer w;
+  w.u8(0xc0 | 0x00);  // long header, fixed bit, type Initial
+  w.u32(options_.probe_version);
+  auto dcid = rng.bytes(8);
+  w.u8(8);
+  w.bytes(dcid);
+  auto scid = rng.bytes(8);
+  w.u8(8);
+  w.bytes(scid);
+  w.u8(0);           // token length
+  size_t target = options_.pad_to_1200 ? 1200 : 64;
+  w.varint(target - w.size() - 2);  // length field (approximate framing)
+  while (w.size() < target) w.u8(0);
+  return w.take();
+}
+
+std::vector<ZmapHit> ZmapQuicScanner::scan(
+    std::span<const netsim::IpAddress> targets) {
+  stats_ = ZmapStats{};
+  stats_.targets = targets.size();
+
+  auto filtered = options_.blocklist.filter(targets);
+  stats_.blocked = targets.size() - filtered.size();
+
+  auto& loop = network_.loop();
+  auto socket = network_.open_udp({options_.source, 50000});
+  std::map<netsim::IpAddress, std::vector<quic::Version>> hits;
+
+  socket->set_receiver([&](const netsim::Endpoint& from,
+                           std::span<const uint8_t> data) {
+    auto vn = quic::decode_version_negotiation(data);
+    if (!vn) {
+      ++stats_.malformed;
+      return;
+    }
+    ++stats_.responses;
+    hits.emplace(from.addr, vn->supported_versions);
+  });
+
+  crypto::Rng rng(0x2a9a);
+  RateLimiter limiter(options_.packets_per_second);
+  uint64_t base = loop.now_us();
+  for (size_t i = 0; i < filtered.size(); ++i) {
+    auto addr = filtered[i];
+    loop.schedule_at(base + limiter.send_time_us(i), [this, &rng, addr,
+                                                      &socket] {
+      auto probe = build_probe(rng);
+      stats_.bytes_sent += probe.size();
+      ++stats_.probes_sent;
+      socket->send({addr, 443}, std::move(probe));
+    });
+  }
+  loop.run();
+  // Allow the response window to elapse (virtual time).
+  loop.run_until(loop.now_us() + options_.response_window_us);
+
+  std::vector<ZmapHit> out;
+  out.reserve(hits.size());
+  for (auto& [addr, versions] : hits) out.push_back({addr, std::move(versions)});
+  return out;
+}
+
+}  // namespace scanner

@@ -1,0 +1,62 @@
+// The ZMap QUIC module (section 3.1): a stateless sweep that sends one
+// padded Initial-shaped datagram with a version from the reserved
+// 0x?a?a?a?a greasing range, forcing spec-conforming servers to answer
+// with a Version Negotiation packet that lists their supported
+// versions. The probe carries no ClientHello and nothing is encrypted;
+// the responder must process the unknown version first.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netsim/network.h"
+#include "crypto/rng.h"
+#include "quic/packet.h"
+#include "scanner/ethics.h"
+
+namespace scanner {
+
+struct ZmapOptions {
+  quic::Version probe_version = quic::kForceNegotiation;
+  /// Pad the probe to 1200 bytes (the section 3.1 ablation turns this
+  /// off and observes the response rate collapse).
+  bool pad_to_1200 = true;
+  uint64_t packets_per_second = 15'000;
+  uint64_t response_window_us = 2'000'000;
+  netsim::IpAddress source = netsim::IpAddress::v4(0xc0000201);  // 192.0.2.1
+  Blocklist blocklist;
+};
+
+struct ZmapHit {
+  netsim::IpAddress address;
+  std::vector<quic::Version> versions;  // as listed in the VN packet
+};
+
+struct ZmapStats {
+  uint64_t targets = 0;
+  uint64_t probes_sent = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t responses = 0;
+  uint64_t malformed = 0;
+  uint64_t blocked = 0;
+};
+
+class ZmapQuicScanner {
+ public:
+  ZmapQuicScanner(netsim::Network& network, ZmapOptions options);
+
+  /// Sweeps `targets`; returns one hit per responding address.
+  std::vector<ZmapHit> scan(std::span<const netsim::IpAddress> targets);
+
+  const ZmapStats& stats() const { return stats_; }
+
+  /// The raw probe datagram (exposed for tests: wire-format checks).
+  std::vector<uint8_t> build_probe(crypto::Rng& rng) const;
+
+ private:
+  netsim::Network& network_;
+  ZmapOptions options_;
+  ZmapStats stats_;
+};
+
+}  // namespace scanner

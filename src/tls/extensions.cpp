@@ -1,0 +1,247 @@
+#include "tls/extensions.h"
+
+#include <stdexcept>
+
+namespace tls {
+
+namespace {
+
+void encode_alpn_list(wire::Writer& w, const std::vector<std::string>& protos) {
+  size_t at = w.begin_length(2);
+  for (const auto& p : protos) {
+    if (p.empty() || p.size() > 255)
+      throw std::invalid_argument("ALPN protocol length out of range");
+    w.u8(static_cast<uint8_t>(p.size()));
+    w.str(p);
+  }
+  w.fill_length(at, 2);
+}
+
+std::vector<std::string> decode_alpn_list(wire::Reader& r) {
+  std::vector<std::string> protos;
+  size_t len = r.u16();
+  wire::Reader list(r.bytes(len));
+  while (!list.done()) {
+    size_t n = list.u8();
+    if (n == 0) throw wire::DecodeError("empty ALPN protocol name");
+    protos.push_back(list.str(n));
+  }
+  return protos;
+}
+
+}  // namespace
+
+uint16_t extension_type(const Extension& ext) {
+  return std::visit(
+      [](const auto& e) -> uint16_t {
+        using T = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<T, SniExtension>)
+          return static_cast<uint16_t>(ExtensionType::kServerName);
+        else if constexpr (std::is_same_v<T, AlpnExtension>)
+          return static_cast<uint16_t>(ExtensionType::kAlpn);
+        else if constexpr (std::is_same_v<T, SupportedVersionsExtension>)
+          return static_cast<uint16_t>(ExtensionType::kSupportedVersions);
+        else if constexpr (std::is_same_v<T, KeyShareExtension>)
+          return static_cast<uint16_t>(ExtensionType::kKeyShare);
+        else if constexpr (std::is_same_v<T, SupportedGroupsExtension>)
+          return static_cast<uint16_t>(ExtensionType::kSupportedGroups);
+        else if constexpr (std::is_same_v<T, SignatureAlgorithmsExtension>)
+          return static_cast<uint16_t>(ExtensionType::kSignatureAlgorithms);
+        else if constexpr (std::is_same_v<T, TransportParametersExtension>)
+          return e.codepoint;
+        else
+          return e.type;
+      },
+      ext);
+}
+
+void encode_extension(wire::Writer& w, const Extension& ext,
+                      HandshakeContext ctx) {
+  w.u16(extension_type(ext));
+  size_t at = w.begin_length(2);
+  std::visit(
+      [&](const auto& e) {
+        using T = std::decay_t<decltype(e)>;
+        if constexpr (std::is_same_v<T, SniExtension>) {
+          // server_name_list with one host_name entry. A ServerHello /
+          // EncryptedExtensions echo is an empty payload per RFC 6066.
+          if (ctx == HandshakeContext::kClientHello) {
+            size_t list_at = w.begin_length(2);
+            w.u8(0);  // name_type host_name
+            w.u16(static_cast<uint16_t>(e.host_name.size()));
+            w.str(e.host_name);
+            w.fill_length(list_at, 2);
+          }
+        } else if constexpr (std::is_same_v<T, AlpnExtension>) {
+          encode_alpn_list(w, e.protocols);
+        } else if constexpr (std::is_same_v<T, SupportedVersionsExtension>) {
+          if (ctx == HandshakeContext::kClientHello) {
+            w.u8(static_cast<uint8_t>(e.versions.size() * 2));
+            for (uint16_t v : e.versions) w.u16(v);
+          } else {
+            if (e.versions.size() != 1)
+              throw std::invalid_argument(
+                  "ServerHello supported_versions must select one version");
+            w.u16(e.versions[0]);
+          }
+        } else if constexpr (std::is_same_v<T, KeyShareExtension>) {
+          auto put_entry = [&](const KeyShareEntry& entry) {
+            w.u16(entry.group);
+            w.u16(static_cast<uint16_t>(entry.key_exchange.size()));
+            w.bytes(entry.key_exchange);
+          };
+          if (ctx == HandshakeContext::kClientHello) {
+            size_t list_at = w.begin_length(2);
+            for (const auto& entry : e.entries) put_entry(entry);
+            w.fill_length(list_at, 2);
+          } else {
+            if (e.entries.size() != 1)
+              throw std::invalid_argument(
+                  "ServerHello key_share must carry one entry");
+            put_entry(e.entries[0]);
+          }
+        } else if constexpr (std::is_same_v<T, SupportedGroupsExtension>) {
+          size_t list_at = w.begin_length(2);
+          for (uint16_t g : e.groups) w.u16(g);
+          w.fill_length(list_at, 2);
+        } else if constexpr (std::is_same_v<T,
+                                            SignatureAlgorithmsExtension>) {
+          size_t list_at = w.begin_length(2);
+          for (uint16_t a : e.algorithms) w.u16(a);
+          w.fill_length(list_at, 2);
+        } else if constexpr (std::is_same_v<T,
+                                            TransportParametersExtension>) {
+          w.bytes(e.payload);
+        } else {
+          w.bytes(e.data);
+        }
+      },
+      ext);
+  w.fill_length(at, 2);
+}
+
+Extension decode_extension(uint16_t type, std::span<const uint8_t> body,
+                           HandshakeContext ctx) {
+  wire::Reader r(body);
+  switch (static_cast<ExtensionType>(type)) {
+    case ExtensionType::kServerName: {
+      SniExtension sni;
+      if (r.remaining() > 0) {
+        size_t list_len = r.u16();
+        wire::Reader list(r.bytes(list_len));
+        uint8_t name_type = list.u8();
+        if (name_type != 0) throw wire::DecodeError("unknown SNI name type");
+        sni.host_name = list.str(list.u16());
+      }
+      return sni;
+    }
+    case ExtensionType::kAlpn:
+      return AlpnExtension{decode_alpn_list(r)};
+    case ExtensionType::kSupportedVersions: {
+      SupportedVersionsExtension sv;
+      if (ctx == HandshakeContext::kClientHello) {
+        size_t len = r.u8();
+        wire::Reader list(r.bytes(len));
+        while (!list.done()) sv.versions.push_back(list.u16());
+      } else {
+        sv.versions.push_back(r.u16());
+      }
+      return sv;
+    }
+    case ExtensionType::kKeyShare: {
+      KeyShareExtension ks;
+      auto read_entry = [](wire::Reader& rr) {
+        KeyShareEntry entry;
+        entry.group = rr.u16();
+        entry.key_exchange = rr.bytes_copy(rr.u16());
+        return entry;
+      };
+      if (ctx == HandshakeContext::kClientHello) {
+        size_t len = r.u16();
+        wire::Reader list(r.bytes(len));
+        while (!list.done()) ks.entries.push_back(read_entry(list));
+      } else {
+        ks.entries.push_back(read_entry(r));
+      }
+      return ks;
+    }
+    case ExtensionType::kSupportedGroups: {
+      SupportedGroupsExtension sg;
+      size_t len = r.u16();
+      wire::Reader list(r.bytes(len));
+      while (!list.done()) sg.groups.push_back(list.u16());
+      return sg;
+    }
+    case ExtensionType::kSignatureAlgorithms: {
+      SignatureAlgorithmsExtension sa;
+      size_t len = r.u16();
+      wire::Reader list(r.bytes(len));
+      while (!list.done()) sa.algorithms.push_back(list.u16());
+      return sa;
+    }
+    case ExtensionType::kQuicTransportParameters:
+    case ExtensionType::kQuicTransportParametersDraft: {
+      TransportParametersExtension tp;
+      tp.codepoint = type;
+      auto rest = r.rest();
+      tp.payload.assign(rest.begin(), rest.end());
+      return tp;
+    }
+    default: {
+      RawExtension raw;
+      raw.type = type;
+      auto rest = r.rest();
+      raw.data.assign(rest.begin(), rest.end());
+      return raw;
+    }
+  }
+}
+
+void encode_extensions(wire::Writer& w, const std::vector<Extension>& exts,
+                       HandshakeContext ctx) {
+  size_t at = w.begin_length(2);
+  for (const auto& ext : exts) encode_extension(w, ext, ctx);
+  w.fill_length(at, 2);
+}
+
+std::vector<Extension> decode_extensions(wire::Reader& r,
+                                         HandshakeContext ctx) {
+  std::vector<Extension> exts;
+  size_t total = r.u16();
+  wire::Reader list(r.bytes(total));
+  while (!list.done()) {
+    uint16_t type = list.u16();
+    size_t len = list.u16();
+    exts.push_back(decode_extension(type, list.bytes(len), ctx));
+  }
+  return exts;
+}
+
+namespace {
+template <typename T>
+const T* find_ext(const std::vector<Extension>& exts) {
+  for (const auto& e : exts)
+    if (const T* p = std::get_if<T>(&e)) return p;
+  return nullptr;
+}
+}  // namespace
+
+const SniExtension* find_sni(const std::vector<Extension>& exts) {
+  return find_ext<SniExtension>(exts);
+}
+const AlpnExtension* find_alpn(const std::vector<Extension>& exts) {
+  return find_ext<AlpnExtension>(exts);
+}
+const KeyShareExtension* find_key_share(const std::vector<Extension>& exts) {
+  return find_ext<KeyShareExtension>(exts);
+}
+const SupportedVersionsExtension* find_supported_versions(
+    const std::vector<Extension>& exts) {
+  return find_ext<SupportedVersionsExtension>(exts);
+}
+const TransportParametersExtension* find_transport_params(
+    const std::vector<Extension>& exts) {
+  return find_ext<TransportParametersExtension>(exts);
+}
+
+}  // namespace tls

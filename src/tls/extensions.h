@@ -1,0 +1,105 @@
+// TLS extension model and codec. Extensions are kept as an ordered list
+// of typed variants; unknown codepoints survive as RawExtension so the
+// QUIC/TLS comparison in the analysis layer (paper Table 5 "Extensions"
+// row) sees exactly the sets servers sent.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tls/types.h"
+#include "wire/buffer.h"
+
+namespace tls {
+
+struct SniExtension {
+  std::string host_name;
+  bool operator==(const SniExtension&) const = default;
+};
+
+struct AlpnExtension {
+  std::vector<std::string> protocols;
+  bool operator==(const AlpnExtension&) const = default;
+};
+
+// In a ClientHello this carries the offered list; in a ServerHello the
+// single selected version.
+struct SupportedVersionsExtension {
+  std::vector<uint16_t> versions;
+  bool operator==(const SupportedVersionsExtension&) const = default;
+};
+
+struct KeyShareEntry {
+  uint16_t group = 0;
+  std::vector<uint8_t> key_exchange;
+  bool operator==(const KeyShareEntry&) const = default;
+};
+
+// ClientHello: list of shares; ServerHello: exactly one.
+struct KeyShareExtension {
+  std::vector<KeyShareEntry> entries;
+  bool operator==(const KeyShareExtension&) const = default;
+};
+
+struct SupportedGroupsExtension {
+  std::vector<uint16_t> groups;
+  bool operator==(const SupportedGroupsExtension&) const = default;
+};
+
+struct SignatureAlgorithmsExtension {
+  std::vector<uint16_t> algorithms;
+  bool operator==(const SignatureAlgorithmsExtension&) const = default;
+};
+
+// Opaque QUIC transport parameters payload; the QUIC layer owns the
+// inner codec. `codepoint` records whether the peer used 0x39 (RFC
+// 9001) or the draft codepoint 0xffa5.
+struct TransportParametersExtension {
+  uint16_t codepoint =
+      static_cast<uint16_t>(ExtensionType::kQuicTransportParameters);
+  std::vector<uint8_t> payload;
+  bool operator==(const TransportParametersExtension&) const = default;
+};
+
+struct RawExtension {
+  uint16_t type = 0;
+  std::vector<uint8_t> data;
+  bool operator==(const RawExtension&) const = default;
+};
+
+using Extension =
+    std::variant<SniExtension, AlpnExtension, SupportedVersionsExtension,
+                 KeyShareExtension, SupportedGroupsExtension,
+                 SignatureAlgorithmsExtension, TransportParametersExtension,
+                 RawExtension>;
+
+/// Wire codepoint of an extension variant.
+uint16_t extension_type(const Extension& ext);
+
+/// Context disambiguates list-vs-single encodings (supported_versions,
+/// key_share differ between ClientHello and ServerHello).
+enum class HandshakeContext { kClientHello, kServerHello, kEncryptedExtensions };
+
+void encode_extension(wire::Writer& w, const Extension& ext,
+                      HandshakeContext ctx);
+Extension decode_extension(uint16_t type, std::span<const uint8_t> body,
+                           HandshakeContext ctx);
+
+void encode_extensions(wire::Writer& w, const std::vector<Extension>& exts,
+                       HandshakeContext ctx);
+std::vector<Extension> decode_extensions(wire::Reader& r,
+                                         HandshakeContext ctx);
+
+/// Convenience lookups over an extension list.
+const SniExtension* find_sni(const std::vector<Extension>& exts);
+const AlpnExtension* find_alpn(const std::vector<Extension>& exts);
+const KeyShareExtension* find_key_share(const std::vector<Extension>& exts);
+const SupportedVersionsExtension* find_supported_versions(
+    const std::vector<Extension>& exts);
+const TransportParametersExtension* find_transport_params(
+    const std::vector<Extension>& exts);
+
+}  // namespace tls

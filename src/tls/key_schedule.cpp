@@ -1,0 +1,80 @@
+#include "tls/key_schedule.h"
+
+#include <stdexcept>
+
+namespace tls {
+
+TrafficKeys derive_traffic_keys(std::span<const uint8_t> secret,
+                                KeyUsage usage) {
+  TrafficKeys keys;
+  if (usage == KeyUsage::kQuic) {
+    keys.key = crypto::hkdf_expand_label(secret, "quic key", {}, 16);
+    keys.iv = crypto::hkdf_expand_label(secret, "quic iv", {}, 12);
+    keys.hp = crypto::hkdf_expand_label(secret, "quic hp", {}, 16);
+  } else {
+    keys.key = crypto::hkdf_expand_label(secret, "key", {}, 16);
+    keys.iv = crypto::hkdf_expand_label(secret, "iv", {}, 12);
+  }
+  return keys;
+}
+
+KeySchedule::KeySchedule() = default;
+
+void KeySchedule::add_message(std::span<const uint8_t> encoded) {
+  transcript_.update(encoded);
+}
+
+crypto::Sha256Digest KeySchedule::snapshot() const {
+  // Sha256 is cheap to copy; final() on the copy leaves ours running.
+  crypto::Sha256 copy = transcript_;
+  return copy.final();
+}
+
+crypto::Sha256Digest KeySchedule::transcript_hash() const { return snapshot(); }
+
+void KeySchedule::derive_handshake_secrets(
+    std::span<const uint8_t> shared_secret) {
+  // early_secret = Extract(salt=0, ikm=0^32)
+  std::vector<uint8_t> zeros(crypto::kSha256DigestSize, 0);
+  auto early = crypto::hkdf_extract({}, zeros);
+  auto empty_hash = crypto::Sha256::hash({});
+  auto derived = crypto::hkdf_expand_label(early, "derived", empty_hash,
+                                           crypto::kSha256DigestSize);
+  auto hs = crypto::hkdf_extract(derived, shared_secret);
+  handshake_secret_.assign(hs.begin(), hs.end());
+
+  auto th = snapshot();
+  client_hs_ = crypto::hkdf_expand_label(handshake_secret_, "c hs traffic", th,
+                                         crypto::kSha256DigestSize);
+  server_hs_ = crypto::hkdf_expand_label(handshake_secret_, "s hs traffic", th,
+                                         crypto::kSha256DigestSize);
+}
+
+void KeySchedule::derive_application_secrets() {
+  if (handshake_secret_.empty())
+    throw std::logic_error(
+        "derive_application_secrets before derive_handshake_secrets");
+  auto empty_hash = crypto::Sha256::hash({});
+  auto derived = crypto::hkdf_expand_label(handshake_secret_, "derived",
+                                           empty_hash,
+                                           crypto::kSha256DigestSize);
+  std::vector<uint8_t> zeros(crypto::kSha256DigestSize, 0);
+  auto master = crypto::hkdf_extract(derived, zeros);
+
+  auto th = snapshot();
+  client_app_ = crypto::hkdf_expand_label(master, "c ap traffic", th,
+                                          crypto::kSha256DigestSize);
+  server_app_ = crypto::hkdf_expand_label(master, "s ap traffic", th,
+                                          crypto::kSha256DigestSize);
+}
+
+std::vector<uint8_t> KeySchedule::finished_verify_data(
+    std::span<const uint8_t> traffic_secret) const {
+  auto finished_key = crypto::hkdf_expand_label(traffic_secret, "finished", {},
+                                                crypto::kSha256DigestSize);
+  auto th = snapshot();
+  auto mac = crypto::hmac_sha256(finished_key, th);
+  return {mac.begin(), mac.end()};
+}
+
+}  // namespace tls

@@ -1,0 +1,75 @@
+#include "tls/record.h"
+
+#include "crypto/aes.h"
+
+namespace tls {
+
+std::vector<uint8_t> encode_record(const Record& record) {
+  wire::Writer w;
+  w.u8(static_cast<uint8_t>(record.type));
+  w.u16(record.legacy_version);
+  w.u16(static_cast<uint16_t>(record.payload.size()));
+  w.bytes(record.payload);
+  return w.take();
+}
+
+std::vector<Record> decode_records(std::span<const uint8_t> stream) {
+  std::vector<Record> out;
+  wire::Reader r(stream);
+  while (!r.done()) {
+    Record rec;
+    rec.type = static_cast<ContentType>(r.u8());
+    rec.legacy_version = r.u16();
+    rec.payload = r.bytes_copy(r.u16());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+RecordCrypter::RecordCrypter(const TrafficKeys& keys)
+    : gcm_(keys.key), iv_(keys.iv) {}
+
+std::vector<uint8_t> RecordCrypter::nonce_for(uint64_t seq) const {
+  std::vector<uint8_t> nonce = iv_;
+  for (int i = 0; i < 8; ++i)
+    nonce[nonce.size() - 1 - static_cast<size_t>(i)] ^=
+        static_cast<uint8_t>(seq >> (8 * i));
+  return nonce;
+}
+
+std::vector<uint8_t> RecordCrypter::seal(ContentType inner_type,
+                                         std::span<const uint8_t> payload) {
+  std::vector<uint8_t> inner(payload.begin(), payload.end());
+  inner.push_back(static_cast<uint8_t>(inner_type));
+  // Additional data is the record header with the ciphertext length.
+  size_t ct_len = inner.size() + crypto::kGcmTagSize;
+  uint8_t aad[5] = {static_cast<uint8_t>(ContentType::kApplicationData), 0x03,
+                    0x03, static_cast<uint8_t>(ct_len >> 8),
+                    static_cast<uint8_t>(ct_len)};
+  auto sealed = gcm_.seal(nonce_for(seal_seq_++), {aad, 5}, inner);
+  Record rec;
+  rec.type = ContentType::kApplicationData;
+  rec.payload = std::move(sealed);
+  return encode_record(rec);
+}
+
+std::optional<RecordCrypter::Opened> RecordCrypter::open(
+    const Record& record) {
+  if (record.type != ContentType::kApplicationData) return std::nullopt;
+  uint8_t aad[5] = {static_cast<uint8_t>(ContentType::kApplicationData), 0x03,
+                    0x03, static_cast<uint8_t>(record.payload.size() >> 8),
+                    static_cast<uint8_t>(record.payload.size())};
+  auto inner = gcm_.open(nonce_for(open_seq_), {aad, 5}, record.payload);
+  if (!inner) return std::nullopt;
+  ++open_seq_;
+  // Strip zero padding, then the real content type (RFC 8446 5.4).
+  while (!inner->empty() && inner->back() == 0) inner->pop_back();
+  if (inner->empty()) return std::nullopt;
+  Opened opened;
+  opened.type = static_cast<ContentType>(inner->back());
+  inner->pop_back();
+  opened.payload = std::move(*inner);
+  return opened;
+}
+
+}  // namespace tls

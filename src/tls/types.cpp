@@ -1,0 +1,44 @@
+#include "tls/types.h"
+
+namespace tls {
+
+std::string cipher_suite_name(CipherSuite suite) {
+  switch (suite) {
+    case CipherSuite::kAes128GcmSha256: return "TLS_AES_128_GCM_SHA256";
+    case CipherSuite::kAes256GcmSha384: return "TLS_AES_256_GCM_SHA384";
+    case CipherSuite::kChaCha20Poly1305Sha256:
+      return "TLS_CHACHA20_POLY1305_SHA256";
+    case CipherSuite::kAes128CcmSha256: return "TLS_AES_128_CCM_SHA256";
+    case CipherSuite::kAes128Ccm8Sha256: return "TLS_AES_128_CCM_8_SHA256";
+    case CipherSuite::kEcdheRsaAes128GcmSha256:
+      return "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256";
+  }
+  return "TLS_UNKNOWN_" + std::to_string(static_cast<uint16_t>(suite));
+}
+
+std::string named_group_name(NamedGroup group) {
+  switch (group) {
+    case NamedGroup::kX25519: return "x25519";
+    case NamedGroup::kSecp256r1: return "secp256r1";
+    case NamedGroup::kSecp384r1: return "secp384r1";
+    case NamedGroup::kX448: return "x448";
+  }
+  return "group_" + std::to_string(static_cast<uint16_t>(group));
+}
+
+std::string alert_name(AlertDescription alert) {
+  switch (alert) {
+    case AlertDescription::kCloseNotify: return "close_notify";
+    case AlertDescription::kHandshakeFailure: return "handshake_failure";
+    case AlertDescription::kBadCertificate: return "bad_certificate";
+    case AlertDescription::kProtocolVersion: return "protocol_version";
+    case AlertDescription::kInternalError: return "internal_error";
+    case AlertDescription::kMissingExtension: return "missing_extension";
+    case AlertDescription::kUnrecognizedName: return "unrecognized_name";
+    case AlertDescription::kNoApplicationProtocol:
+      return "no_application_protocol";
+  }
+  return "alert_" + std::to_string(static_cast<uint8_t>(alert));
+}
+
+}  // namespace tls

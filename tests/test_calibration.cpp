@@ -1,0 +1,165 @@
+// Calibration pinning: the week-18 population marginals that every
+// table and figure depends on, asserted against the paper-derived
+// targets (DESIGN.md section 7). A population edit that silently
+// shifts a headline statistic fails here, not in a bench someone has
+// to eyeball.
+#include <gtest/gtest.h>
+
+#include "internet/internet.h"
+
+namespace {
+
+using namespace internet;
+
+const Population& week18() {
+  static Population population({.dns_corpus_scale = 0.01}, 18);
+  return population;
+}
+
+struct GroupCounts {
+  size_t v4 = 0, v6 = 0;
+};
+
+std::map<std::string, GroupCounts> count_groups() {
+  std::map<std::string, GroupCounts> counts;
+  for (const auto& host : week18().hosts()) {
+    auto& entry = counts[host.group];
+    if (host.address.is_v4())
+      ++entry.v4;
+    else
+      ++entry.v6;
+  }
+  return counts;
+}
+
+TEST(Calibration, ZmapVisibleMassNearPaperScale) {
+  size_t v4 = 0, v6 = 0;
+  for (const auto& host : week18().hosts()) {
+    if (!host.quic_enabled() || !host.respond_to_vn || host.udp_filtered)
+      continue;
+    if (host.address.is_v4())
+      ++v4;
+    else
+      ++v6;
+  }
+  // Paper week 18: 2 134 964 IPv4 / 210 997 IPv6 at 1:1000.
+  EXPECT_NEAR(static_cast<double>(v4), 2135.0, 600.0);
+  EXPECT_NEAR(static_cast<double>(v6), 211.0, 90.0);
+}
+
+TEST(Calibration, CloudflareLeadsGoogleSecond) {
+  auto counts = count_groups();
+  size_t cloudflare = counts["cloudflare"].v4 + counts["cloudflare-idle"].v4;
+  size_t google = counts["google"].v4 + counts["google-mismatch"].v4 +
+                  counts["google-stall"].v4 + counts["google-legacy"].v4;
+  size_t akamai = counts["akamai"].v4;
+  size_t fastly = counts["fastly"].v4;
+  // Paper Table 2 ordering: CF 676 k > Google 510 k > Akamai 321 k >
+  // Fastly 233 k.
+  EXPECT_GT(cloudflare, google);
+  EXPECT_GT(google, akamai);
+  EXPECT_GT(akamai, fastly);
+  // And the ratios stay within a factor ~1.5 of the paper's.
+  EXPECT_NEAR(static_cast<double>(cloudflare) / static_cast<double>(google),
+              676.0 / 510.0, 0.6);
+}
+
+TEST(Calibration, GoogleMismatchShareMatchesPaper) {
+  auto counts = count_groups();
+  size_t mismatch =
+      counts["google-mismatch"].v4 + counts["google-mismatch-cloud"].v4;
+  size_t total = 0;
+  for (const auto& host : week18().hosts())
+    if (host.address.is_v4() && host.quic_enabled() && host.respond_to_vn &&
+        !host.udp_filtered)
+      ++total;
+  // Paper: ~9 % of stateful no-SNI IPv4 targets fail with a version
+  // mismatch, 99 % of them at Google.
+  double share = static_cast<double>(mismatch) / static_cast<double>(total);
+  EXPECT_GT(share, 0.06);
+  EXPECT_LT(share, 0.12);
+}
+
+TEST(Calibration, HostingerFleetIsV6AltSvcOnly) {
+  auto counts = count_groups();
+  EXPECT_NEAR(static_cast<double>(counts["hostinger"].v6), 195.0, 20.0);
+  for (const auto& host : week18().hosts()) {
+    if (host.group != "hostinger") continue;
+    EXPECT_FALSE(host.respond_to_vn);
+    EXPECT_FALSE(host.alt_svc_alpn.empty());
+  }
+}
+
+TEST(Calibration, PaddingLaxMassConcentratedInOneAs) {
+  size_t lax_total = 0, lax_top_as = 0;
+  std::map<uint32_t, size_t> by_as;
+  for (const auto& host : week18().hosts()) {
+    if (!host.address.is_v4() || host.require_padding) continue;
+    if (!host.quic_enabled() || !host.respond_to_vn) continue;
+    ++lax_total;
+    ++by_as[host.asn];
+  }
+  for (const auto& [asn, count] : by_as)
+    lax_top_as = std::max(lax_top_as, count);
+  ASSERT_GT(lax_total, 0u);
+  // Paper section 3.1: 95.4 % of unpadded responders share one AS.
+  EXPECT_GT(static_cast<double>(lax_top_as) / static_cast<double>(lax_total),
+            0.9);
+  // And the unpadded/padded ratio lands near 11.3 %.
+  size_t padded_total = 0;
+  for (const auto& host : week18().hosts())
+    if (host.address.is_v4() && host.quic_enabled() && host.respond_to_vn &&
+        !host.udp_filtered)
+      ++padded_total;
+  double rate = static_cast<double>(lax_total) /
+                static_cast<double>(padded_total);
+  EXPECT_GT(rate, 0.07);
+  EXPECT_LT(rate, 0.16);
+}
+
+TEST(Calibration, DomainMassesScaleOneToThousand) {
+  size_t cf_domains = 0, total = week18().domains().size();
+  for (const auto& domain : week18().domains()) {
+    if (domain.v4_hosts.empty()) continue;
+    const auto& host = week18().hosts()[domain.v4_hosts[0]];
+    if (host.group == "cloudflare") ++cf_domains;
+  }
+  // Paper: 23.8 M Cloudflare-joined domains of ~31 M total (1:1000).
+  EXPECT_NEAR(static_cast<double>(cf_domains), 23844.0, 3000.0);
+  EXPECT_GT(total, 30000u);
+  EXPECT_LT(total, 50000u);
+}
+
+TEST(Calibration, HttpsRrMassAtWeek18) {
+  size_t https = 0;
+  for (const auto& domain : week18().domains())
+    if (domain.https_rr_since_week > 0 && domain.https_rr_since_week <= 18)
+      ++https;
+  // Paper: 2.9 M IPv4-hinting HTTPS-RR domains (1:1000) + the floored
+  // non-Cloudflare providers.
+  EXPECT_GT(https, 2500u);
+  EXPECT_LT(https, 4000u);
+}
+
+TEST(Calibration, AkamaiVersionEvolutionEndpoints) {
+  // Week 5: ~10 % of Akamai announces draft-29; week 18: ~95 %.
+  auto share_at = [](int week) {
+    Population population({.dns_corpus_scale = 0.01}, week);
+    size_t with = 0, total = 0;
+    for (const auto& host : population.hosts()) {
+      if (host.group != "akamai" || !host.address.is_v4()) continue;
+      ++total;
+      for (quic::Version v : host.advertised_versions)
+        if (v == quic::kDraft29) {
+          ++with;
+          break;
+        }
+    }
+    return total ? static_cast<double>(with) / static_cast<double>(total)
+                 : 0.0;
+  };
+  EXPECT_LT(share_at(5), 0.2);
+  EXPECT_GT(share_at(18), 0.9);
+}
+
+}  // namespace

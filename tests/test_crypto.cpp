@@ -1,0 +1,298 @@
+// Crypto substrate tests against published vectors: FIPS 180-4 (SHA-256),
+// RFC 4231 (HMAC), RFC 5869 (HKDF), FIPS 197 (AES), NIST GCM vectors.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/dh.h"
+#include "crypto/rng.h"
+#include "crypto/sha256.h"
+#include "wire/buffer.h"
+
+using wire::from_hex;
+using wire::to_hex;
+
+namespace {
+
+std::vector<uint8_t> str_bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(to_hex(crypto::Sha256::hash({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  auto in = str_bytes("abc");
+  EXPECT_EQ(to_hex(crypto::Sha256::hash(in)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  auto in = str_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(to_hex(crypto::Sha256::hash(in)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  crypto::Sha256 h;
+  std::vector<uint8_t> chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.final()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::vector<uint8_t> data(300);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  for (size_t split = 0; split <= data.size(); split += 37) {
+    crypto::Sha256 h;
+    h.update({data.data(), split});
+    h.update({data.data() + split, data.size() - split});
+    EXPECT_EQ(h.final(), crypto::Sha256::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Hmac, Rfc4231Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  auto mac = crypto::hmac_sha256(key, str_bytes("Hi There"));
+  EXPECT_EQ(to_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  auto mac = crypto::hmac_sha256(str_bytes("Jefe"),
+                                 str_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  std::vector<uint8_t> key(131, 0xaa);
+  auto mac = crypto::hmac_sha256(
+      key, str_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  std::vector<uint8_t> ikm(22, 0x0b);
+  auto salt = from_hex("000102030405060708090a0b0c");
+  auto info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  auto prk = crypto::hkdf_extract(salt, ikm);
+  EXPECT_EQ(to_hex(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  auto okm = crypto::hkdf_expand(prk, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3ZeroSaltInfo) {
+  std::vector<uint8_t> ikm(22, 0x0b);
+  auto prk = crypto::hkdf_extract({}, ikm);
+  auto okm = crypto::hkdf_expand(prk, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Aes128, Fips197Vector) {
+  auto key = from_hex("000102030405060708090a0b0c0d0e0f");
+  auto pt = from_hex("00112233445566778899aabbccddeeff");
+  crypto::Aes128 aes(key);
+  auto ct = aes.encrypt_block(pt);
+  EXPECT_EQ(to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128Gcm, NistCase1EmptyEverything) {
+  crypto::Aes128Gcm gcm(from_hex("00000000000000000000000000000000"));
+  auto out = gcm.seal(from_hex("000000000000000000000000"), {}, {});
+  EXPECT_EQ(to_hex(out), "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(Aes128Gcm, NistCase2SingleBlock) {
+  crypto::Aes128Gcm gcm(from_hex("00000000000000000000000000000000"));
+  auto out = gcm.seal(from_hex("000000000000000000000000"), {},
+                      from_hex("00000000000000000000000000000000"));
+  EXPECT_EQ(to_hex(out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(Aes128Gcm, NistCase4WithAad) {
+  crypto::Aes128Gcm gcm(from_hex("feffe9928665731c6d6a8f9467308308"));
+  auto pt = from_hex(
+      "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+      "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39");
+  auto aad = from_hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+  auto out = gcm.seal(from_hex("cafebabefacedbaddecaf888"), aad, pt);
+  EXPECT_EQ(to_hex(out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+            "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            "5bc94fbc3221a5db94fae95ae7121a47");
+}
+
+TEST(Aes128Gcm, SealOpenRoundTrip) {
+  crypto::Rng rng(42);
+  crypto::Aes128Gcm gcm(rng.bytes(16));
+  auto nonce = rng.bytes(12);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{15}, size_t{16}, size_t{17},
+                     size_t{100}, size_t{1200}}) {
+    auto pt = rng.bytes(len);
+    auto aad = rng.bytes(20);
+    auto sealed = gcm.seal(nonce, aad, pt);
+    auto opened = gcm.open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value()) << "len=" << len;
+    EXPECT_EQ(*opened, pt);
+  }
+}
+
+TEST(Aes128Gcm, TamperedCiphertextRejected) {
+  crypto::Rng rng(43);
+  crypto::Aes128Gcm gcm(rng.bytes(16));
+  auto nonce = rng.bytes(12);
+  auto sealed = gcm.seal(nonce, {}, rng.bytes(64));
+  for (size_t i = 0; i < sealed.size(); i += 7) {
+    auto bad = sealed;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(gcm.open(nonce, {}, bad).has_value()) << "flip at " << i;
+  }
+}
+
+TEST(Aes128Gcm, WrongAadRejected) {
+  crypto::Rng rng(44);
+  crypto::Aes128Gcm gcm(rng.bytes(16));
+  auto nonce = rng.bytes(12);
+  auto sealed = gcm.seal(nonce, str_bytes("header-a"), rng.bytes(32));
+  EXPECT_FALSE(gcm.open(nonce, str_bytes("header-b"), sealed).has_value());
+  EXPECT_TRUE(gcm.open(nonce, str_bytes("header-a"), sealed).has_value());
+}
+
+TEST(Dh, SharedSecretAgrees) {
+  auto a = crypto::dh_generate(123456789);
+  auto b = crypto::dh_generate(987654321);
+  EXPECT_NE(a.public_value, b.public_value);
+  EXPECT_EQ(crypto::dh_shared(a.secret, b.public_value),
+            crypto::dh_shared(b.secret, a.public_value));
+}
+
+TEST(Dh, RejectsDegeneratePublicValues) {
+  auto a = crypto::dh_generate(1);
+  EXPECT_THROW(crypto::dh_shared(a.secret, 0), std::invalid_argument);
+  EXPECT_THROW(crypto::dh_shared(a.secret, 1), std::invalid_argument);
+  EXPECT_THROW(crypto::dh_shared(a.secret, crypto::kDhPrime),
+               std::invalid_argument);
+}
+
+TEST(Dh, EncodeDecodeRoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xdeadbeefcafebabe},
+                     crypto::kDhPrime - 1}) {
+    EXPECT_EQ(crypto::dh_decode(crypto::dh_encode(v)), v);
+  }
+}
+
+TEST(Rng, Deterministic) {
+  crypto::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ForkIndependentOfDrawOrder) {
+  crypto::Rng a(7);
+  auto child1 = a.fork("alpha");
+  crypto::Rng b(7);
+  auto child2 = b.fork("alpha");
+  EXPECT_EQ(child1.next(), child2.next());
+  auto other = b.fork("beta");
+  EXPECT_NE(child2.next(), other.next());
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  crypto::Rng rng(99);
+  bool seen[10] = {};
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen[v] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+  crypto::Rng rng(5);
+  double weights[] = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.weighted(weights), 1u);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  crypto::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HkdfExpandLabel, MatchesQuicInitialClientKey) {
+  // RFC 9001 Appendix A.1: client_initial_secret for DCID 8394c8f03e515708.
+  auto salt = from_hex("38762cf7f55934b34d179ae6a4c80cadccbb7f0a");
+  auto dcid = from_hex("8394c8f03e515708");
+  auto initial_secret = crypto::hkdf_extract(salt, dcid);
+  auto client_secret =
+      crypto::hkdf_expand_label(initial_secret, "client in", {}, 32);
+  EXPECT_EQ(to_hex(client_secret),
+            "c00cf151ca5be075ed0ebfb5c80323c42d6b7db67881289af4008f1f6c357aea");
+  auto key = crypto::hkdf_expand_label(client_secret, "quic key", {}, 16);
+  EXPECT_EQ(to_hex(key), "1f369613dd76d5467730efcbe3b1a22d");
+  auto iv = crypto::hkdf_expand_label(client_secret, "quic iv", {}, 12);
+  EXPECT_EQ(to_hex(iv), "fa044b2f42a3fd3b46fb255c");
+  auto hp = crypto::hkdf_expand_label(client_secret, "quic hp", {}, 16);
+  EXPECT_EQ(to_hex(hp), "9f50449e04a0e810283a1e9933adedd2");
+}
+
+TEST(Hkdf, ExpandRejectsOversizedOutput) {
+  std::vector<uint8_t> prk(32, 1);
+  EXPECT_NO_THROW(crypto::hkdf_expand(prk, {}, 255 * 32));
+  EXPECT_THROW(crypto::hkdf_expand(prk, {}, 255 * 32 + 1),
+               std::invalid_argument);
+}
+
+TEST(Hmac, EmptyKeyAndData) {
+  // HMAC with empty key/data is well-defined; pin the vector.
+  auto mac = crypto::hmac_sha256({}, {});
+  EXPECT_EQ(wire::to_hex(mac),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  crypto::Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = rng.range(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+    if (v == 5) saw_lo = true;
+    if (v == 8) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Aes128, RejectsBadKeyAndBlockSizes) {
+  std::vector<uint8_t> short_key(8, 0);
+  EXPECT_THROW(crypto::Aes128 aes(short_key), std::invalid_argument);
+  crypto::Aes128 aes(std::vector<uint8_t>(16, 0));
+  std::vector<uint8_t> short_block(8, 0);
+  EXPECT_THROW(aes.encrypt_block(std::span<const uint8_t>(short_block)),
+               std::invalid_argument);
+}
+
+TEST(Aes128Gcm, RejectsBadNonceAndShortCiphertext) {
+  crypto::Aes128Gcm gcm(std::vector<uint8_t>(16, 7));
+  std::vector<uint8_t> bad_nonce(8, 0);
+  EXPECT_THROW(gcm.seal(bad_nonce, {}, {}), std::invalid_argument);
+  std::vector<uint8_t> nonce(12, 0);
+  std::vector<uint8_t> too_short(8, 0);
+  EXPECT_FALSE(gcm.open(nonce, {}, too_short).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,236 @@
+// DNS tests: wire codec (names, RRs incl. SVCB/HTTPS SvcParams),
+// authoritative serving, CNAME chasing and bulk resolution.
+#include <gtest/gtest.h>
+
+#include "dns/resolver.h"
+#include "dns/wire.h"
+
+namespace {
+
+using namespace dns;
+using netsim::IpAddress;
+
+TEST(Name, EncodeDecodeRoundTrip) {
+  for (const char* name :
+       {"example.com", "www.example.com", "a.b.c.d.e.f", "xn--bcher-kva.tld"}) {
+    wire::Writer w;
+    encode_name(w, name);
+    wire::Reader r(w.span());
+    EXPECT_EQ(decode_name(r, w.span()), name);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Name, NormalizationLowercasesAndStripsDot) {
+  EXPECT_EQ(normalize_name("WWW.Example.COM."), "www.example.com");
+  wire::Writer w;
+  encode_name(w, "WWW.EXAMPLE.COM");
+  wire::Reader r(w.span());
+  EXPECT_EQ(decode_name(r, w.span()), "www.example.com");
+}
+
+TEST(Name, RootEncodesAsSingleZero) {
+  wire::Writer w;
+  encode_name(w, "");
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_EQ(w.span()[0], 0);
+}
+
+TEST(Name, CompressionPointerDecoding) {
+  // Hand-built: "example.com" at offset 0, then a pointer to it.
+  wire::Writer w;
+  encode_name(w, "example.com");
+  size_t ptr_at = w.size();
+  w.u8(0xc0);
+  w.u8(0x00);
+  wire::Reader r(w.span());
+  r.skip(ptr_at);
+  EXPECT_EQ(decode_name(r, w.span()), "example.com");
+}
+
+TEST(Name, RejectsPointerLoop) {
+  wire::Writer w;
+  w.u8(0xc0);
+  w.u8(0x00);  // points at itself
+  wire::Reader r(w.span());
+  EXPECT_THROW(decode_name(r, w.span()), wire::DecodeError);
+}
+
+TEST(Wire, QueryMessageRoundTrip) {
+  Message msg;
+  msg.id = 0x1234;
+  msg.recursion_desired = true;
+  msg.questions.push_back({"example.com", RRType::kHttps});
+  auto decoded = decode_message(encode_message(msg));
+  EXPECT_EQ(decoded.id, 0x1234);
+  EXPECT_FALSE(decoded.is_response);
+  ASSERT_EQ(decoded.questions.size(), 1u);
+  EXPECT_EQ(decoded.questions[0].name, "example.com");
+  EXPECT_EQ(decoded.questions[0].type, RRType::kHttps);
+}
+
+TEST(Wire, ARecordRoundTrip) {
+  Message msg;
+  msg.is_response = true;
+  msg.answers.push_back(
+      {"example.com", RRType::kA, 300, ARecord{IpAddress::v4(0x01020304)}});
+  auto decoded = decode_message(encode_message(msg));
+  ASSERT_EQ(decoded.answers.size(), 1u);
+  EXPECT_EQ(std::get<ARecord>(decoded.answers[0].data).address.to_string(),
+            "1.2.3.4");
+}
+
+TEST(Wire, AaaaRecordRoundTrip) {
+  Message msg;
+  msg.is_response = true;
+  msg.answers.push_back({"example.com", RRType::kAaaa, 300,
+                         AaaaRecord{*IpAddress::parse("2606:4700::1")}});
+  auto decoded = decode_message(encode_message(msg));
+  EXPECT_EQ(std::get<AaaaRecord>(decoded.answers[0].data).address.to_string(),
+            "2606:4700::1");
+}
+
+TEST(Wire, HttpsRecordWithSvcParams) {
+  SvcbData svcb;
+  svcb.priority = 1;
+  svcb.target = ".";
+  svcb.alpn = {"h3", "h3-29", "h2"};
+  svcb.port = 443;
+  svcb.ipv4_hints = {IpAddress::v4(0x68100001), IpAddress::v4(0x68100002)};
+  svcb.ipv6_hints = {*IpAddress::parse("2606:4700::1")};
+  Message msg;
+  msg.is_response = true;
+  msg.answers.push_back({"example.com", RRType::kHttps, 300, svcb});
+  auto decoded = decode_message(encode_message(msg));
+  const auto& d = std::get<SvcbData>(decoded.answers[0].data);
+  EXPECT_EQ(d, svcb);
+}
+
+TEST(Wire, AliasModeSvcb) {
+  SvcbData svcb;
+  svcb.priority = 0;
+  svcb.target = "pool.svc.example";
+  Message msg;
+  msg.is_response = true;
+  msg.answers.push_back({"example.com", RRType::kSvcb, 60, svcb});
+  auto decoded = decode_message(encode_message(msg));
+  const auto& d = std::get<SvcbData>(decoded.answers[0].data);
+  EXPECT_TRUE(d.alias_mode());
+  EXPECT_EQ(d.target, "pool.svc.example");
+}
+
+ZoneStore make_store() {
+  ZoneStore store;
+  store.add({"example.com", RRType::kA, 300, ARecord{IpAddress::v4(0x01010101)}});
+  store.add({"example.com", RRType::kAaaa, 300,
+             AaaaRecord{*IpAddress::parse("2001:db8::1")}});
+  SvcbData https;
+  https.alpn = {"h3", "h3-29"};
+  https.ipv4_hints = {IpAddress::v4(0x01010101)};
+  store.add({"example.com", RRType::kHttps, 300, https});
+  store.add({"www.example.com", RRType::kCname, 300,
+             CnameRecord{"example.com"}});
+  store.add({"nodata.example.com", RRType::kTxt, 300, TxtRecord{"x"}});
+  return store;
+}
+
+TEST(ZoneStore, ServeAnswersAndNxdomain) {
+  auto store = make_store();
+  Resolver resolver(store);
+  auto result = resolver.resolve("example.com", RRType::kA);
+  EXPECT_EQ(result.rcode, RCode::kNoError);
+  ASSERT_EQ(result.addresses().size(), 1u);
+  EXPECT_EQ(result.addresses()[0].to_string(), "1.1.1.1");
+
+  auto missing = resolver.resolve("nosuch.example.com", RRType::kA);
+  EXPECT_EQ(missing.rcode, RCode::kNxDomain);
+
+  auto nodata = resolver.resolve("nodata.example.com", RRType::kA);
+  EXPECT_EQ(nodata.rcode, RCode::kNoError);
+  EXPECT_TRUE(nodata.addresses().empty());
+}
+
+TEST(Resolver, FollowsCname) {
+  auto store = make_store();
+  Resolver resolver(store);
+  auto result = resolver.resolve("www.example.com", RRType::kA);
+  EXPECT_EQ(result.rcode, RCode::kNoError);
+  ASSERT_EQ(result.addresses().size(), 1u);
+  EXPECT_EQ(result.addresses()[0].to_string(), "1.1.1.1");
+  // Answer section contains the chain (CNAME + A).
+  EXPECT_EQ(result.answers.size(), 2u);
+}
+
+TEST(Resolver, DetectsCnameLoops) {
+  ZoneStore store;
+  store.add({"a.example", RRType::kCname, 60, CnameRecord{"b.example"}});
+  store.add({"b.example", RRType::kCname, 60, CnameRecord{"a.example"}});
+  Resolver resolver(store);
+  auto result = resolver.resolve("a.example", RRType::kA);
+  EXPECT_EQ(result.rcode, RCode::kServFail);
+}
+
+TEST(Resolver, HttpsRecordResolution) {
+  auto store = make_store();
+  Resolver resolver(store);
+  auto result = resolver.resolve("example.com", RRType::kHttps);
+  auto svcb = result.svcb();
+  ASSERT_EQ(svcb.size(), 1u);
+  EXPECT_EQ(svcb[0].alpn, (std::vector<std::string>{"h3", "h3-29"}));
+  ASSERT_EQ(svcb[0].ipv4_hints.size(), 1u);
+}
+
+TEST(BulkResolver, ResolvesAllTypesPerDomain) {
+  auto store = make_store();
+  BulkResolver bulk(store);
+  auto records = bulk.resolve_all({"example.com", "www.example.com",
+                                   "missing.example"});
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].a.size(), 1u);
+  EXPECT_EQ(records[0].aaaa.size(), 1u);
+  EXPECT_TRUE(records[0].has_https_rr());
+  EXPECT_EQ(records[1].a.size(), 1u);  // via CNAME
+  EXPECT_FALSE(records[2].has_https_rr());
+  EXPECT_TRUE(records[2].a.empty());
+  // 3 queries per domain.
+  EXPECT_EQ(bulk.queries_sent(), 3u * 3u + 1u /* CNAME chase for www A */ +
+                                     1u /* CNAME chase for www AAAA */ +
+                                     1u /* CNAME chase for www HTTPS */);
+}
+
+TEST(Resolver, ChasesSvcbAliasMode) {
+  ZoneStore store;
+  SvcbData alias;
+  alias.priority = 0;  // AliasMode
+  alias.target = "svc.pool.example";
+  store.add({"www.example", RRType::kHttps, 300, alias});
+  SvcbData service;
+  service.priority = 1;
+  service.alpn = {"h3"};
+  service.ipv4_hints = {IpAddress::v4(0x01020304)};
+  store.add({"svc.pool.example", RRType::kHttps, 300, service});
+
+  Resolver resolver(store);
+  auto result = resolver.resolve("www.example", RRType::kHttps);
+  EXPECT_EQ(result.rcode, RCode::kNoError);
+  auto svcb = result.svcb();
+  ASSERT_EQ(svcb.size(), 1u);
+  EXPECT_FALSE(svcb[0].alias_mode());
+  EXPECT_EQ(svcb[0].alpn, (std::vector<std::string>{"h3"}));
+}
+
+TEST(Resolver, DetectsAliasModeLoops) {
+  ZoneStore store;
+  SvcbData a, b;
+  a.priority = 0;
+  a.target = "b.example";
+  b.priority = 0;
+  b.target = "a.example";
+  store.add({"a.example", RRType::kHttps, 300, a});
+  store.add({"b.example", RRType::kHttps, 300, b});
+  Resolver resolver(store);
+  EXPECT_EQ(resolver.resolve("a.example", RRType::kHttps).rcode,
+            RCode::kServFail);
+}
+
+}  // namespace

@@ -1,0 +1,310 @@
+// Network simulator tests: address parsing/formatting, prefixes,
+// virtual-time event loop, datagram delivery, link failure modes.
+#include <gtest/gtest.h>
+
+#include "netsim/address.h"
+#include "netsim/event_loop.h"
+#include "netsim/network.h"
+
+using netsim::Endpoint;
+using netsim::IpAddress;
+using netsim::Prefix;
+
+namespace {
+
+TEST(IpAddress, V4ParseFormat) {
+  auto a = IpAddress::parse("192.168.1.200");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->v4_value(), 0xc0a801c8u);
+  EXPECT_EQ(a->to_string(), "192.168.1.200");
+}
+
+TEST(IpAddress, V4RejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+}
+
+TEST(IpAddress, V6ParseFormat) {
+  auto a = IpAddress::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->v6_hi(), 0x20010db800000000ull);
+  EXPECT_EQ(a->v6_lo(), 1ull);
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(IpAddress, V6ZeroCompression) {
+  EXPECT_EQ(IpAddress::v6(0, 0).to_string(), "::");
+  EXPECT_EQ(IpAddress::v6(0, 1).to_string(), "::1");
+  EXPECT_EQ(IpAddress::parse("::")->v6_lo(), 0u);
+  EXPECT_EQ(IpAddress::parse("::1")->v6_lo(), 1u);
+  // Longest zero run is compressed.
+  auto a = IpAddress::parse("2606:4700:0:0:0:0:0:1111");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "2606:4700::1111");
+}
+
+TEST(IpAddress, V6RejectsMalformed) {
+  EXPECT_FALSE(IpAddress::parse("2001:db8::1::2").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(IpAddress::parse("20011:db8::1").has_value());
+}
+
+TEST(IpAddress, RoundTripThroughText) {
+  for (const char* text :
+       {"0.0.0.0", "255.255.255.255", "104.16.0.1", "2606:4700::", "::ffff",
+        "fe80::1:2:3:4", "2001:db8:1:2:3:4:5:6"}) {
+    auto a = IpAddress::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    auto b = IpAddress::parse(a->to_string());
+    ASSERT_TRUE(b.has_value()) << text;
+    EXPECT_EQ(*a, *b) << text;
+  }
+}
+
+TEST(Prefix, V4Contains) {
+  auto p = Prefix::parse("104.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(*IpAddress::parse("104.16.0.1")));
+  EXPECT_TRUE(p->contains(*IpAddress::parse("104.31.255.255")));
+  EXPECT_FALSE(p->contains(*IpAddress::parse("104.32.0.0")));
+  EXPECT_FALSE(p->contains(*IpAddress::parse("103.255.255.255")));
+  EXPECT_FALSE(p->contains(*IpAddress::parse("2001:db8::1")));
+}
+
+TEST(Prefix, V6Contains) {
+  auto p = Prefix::parse("2606:4700::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(*IpAddress::parse("2606:4700::1")));
+  EXPECT_TRUE(p->contains(*IpAddress::parse("2606:4700:ffff::")));
+  EXPECT_FALSE(p->contains(*IpAddress::parse("2606:4701::")));
+}
+
+TEST(Prefix, HostEnumeration) {
+  auto p = Prefix::parse("10.0.0.0/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->host_count(), 256u);
+  EXPECT_EQ(p->host_at(0).to_string(), "10.0.0.0");
+  EXPECT_EQ(p->host_at(255).to_string(), "10.0.0.255");
+  EXPECT_THROW(p->host_at(256), std::out_of_range);
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  auto p = Prefix::parse("0.0.0.0/0");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->contains(*IpAddress::parse("1.2.3.4")));
+  EXPECT_TRUE(p->contains(*IpAddress::parse("255.0.0.1")));
+}
+
+TEST(EventLoop, RunsInTimeOrder) {
+  netsim::EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_in(300, [&] { order.push_back(3); });
+  loop.schedule_in(100, [&] { order.push_back(1); });
+  loop.schedule_in(200, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now_us(), 300u);
+}
+
+TEST(EventLoop, SameTimeFiresInScheduleOrder) {
+  netsim::EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    loop.schedule_in(100, [&order, i] { order.push_back(i); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  netsim::EventLoop loop;
+  bool fired = false;
+  auto id = loop.schedule_in(100, [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  netsim::EventLoop loop;
+  uint64_t fired_at = 0;
+  loop.schedule_in(100, [&] {
+    loop.schedule_in(50, [&] { fired_at = loop.now_us(); });
+  });
+  loop.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWhenIdle) {
+  netsim::EventLoop loop;
+  loop.run_until(5000);
+  EXPECT_EQ(loop.now_us(), 5000u);
+}
+
+class EchoService : public netsim::UdpService {
+ public:
+  void on_datagram(const Endpoint& from, std::span<const uint8_t> payload,
+                   const Transmit& transmit) override {
+    std::vector<uint8_t> reply(payload.begin(), payload.end());
+    std::reverse(reply.begin(), reply.end());
+    transmit(from, std::move(reply));
+  }
+};
+
+TEST(Network, UdpRoundTrip) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  EchoService echo;
+  Endpoint server{*IpAddress::parse("10.0.0.1"), 443};
+  net.add_udp_service(server, &echo);
+
+  auto sock = net.open_udp({*IpAddress::parse("192.0.2.1"), 5000});
+  std::vector<uint8_t> got;
+  sock->set_receiver([&](const Endpoint&, std::span<const uint8_t> data) {
+    got.assign(data.begin(), data.end());
+  });
+  sock->send(server, {1, 2, 3});
+  loop.run();
+  EXPECT_EQ(got, (std::vector<uint8_t>{3, 2, 1}));
+  EXPECT_EQ(loop.now_us(), 20'000u);  // two one-way default latencies
+  EXPECT_EQ(net.datagrams_sent(), 2u);
+}
+
+TEST(Network, SilentLinkSwallowsDatagrams) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  EchoService echo;
+  Endpoint server{*IpAddress::parse("10.0.0.1"), 443};
+  net.add_udp_service(server, &echo);
+  net.set_link(server.addr, {.latency_us = 10, .loss = 0, .silent = true});
+
+  auto sock = net.open_udp({*IpAddress::parse("192.0.2.1"), 5000});
+  bool received = false;
+  sock->set_receiver(
+      [&](const Endpoint&, std::span<const uint8_t>) { received = true; });
+  sock->send(server, {1});
+  loop.run();
+  EXPECT_FALSE(received);
+}
+
+TEST(Network, NoListenerDropsSilently) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  auto sock = net.open_udp({*IpAddress::parse("192.0.2.1"), 5000});
+  bool received = false;
+  sock->set_receiver(
+      [&](const Endpoint&, std::span<const uint8_t>) { received = true; });
+  sock->send({*IpAddress::parse("10.9.9.9"), 443}, {1});
+  loop.run();
+  EXPECT_FALSE(received);
+}
+
+TEST(Network, FullLossDropsEverything) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  EchoService echo;
+  Endpoint server{*IpAddress::parse("10.0.0.1"), 443};
+  net.add_udp_service(server, &echo);
+  net.set_link(server.addr, {.latency_us = 10, .loss = 1.0, .silent = false});
+  auto sock = net.open_udp({*IpAddress::parse("192.0.2.1"), 5000});
+  bool received = false;
+  sock->set_receiver(
+      [&](const Endpoint&, std::span<const uint8_t>) { received = true; });
+  for (int i = 0; i < 10; ++i) sock->send(server, {1});
+  loop.run();
+  EXPECT_FALSE(received);
+}
+
+class GreeterTcp : public netsim::TcpService {
+ public:
+  class Session : public netsim::TcpSession {
+   public:
+    std::vector<uint8_t> on_data(std::span<const uint8_t> data) override {
+      std::string in(data.begin(), data.end());
+      std::string out = "hello " + in;
+      return {out.begin(), out.end()};
+    }
+  };
+  std::unique_ptr<netsim::TcpSession> accept(const Endpoint&) override {
+    return std::make_unique<Session>();
+  }
+};
+
+TEST(Network, TcpConnectAndExchange) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  GreeterTcp service;
+  Endpoint server{*IpAddress::parse("10.0.0.2"), 443};
+  net.add_tcp_service(server, &service);
+
+  EXPECT_TRUE(net.tcp_port_open(server));
+  EXPECT_FALSE(net.tcp_port_open({server.addr, 80}));
+
+  auto conn = net.tcp_connect({*IpAddress::parse("192.0.2.1"), 40000}, server);
+  ASSERT_TRUE(conn.has_value());
+  std::string msg = "world";
+  auto reply = conn->exchange({reinterpret_cast<const uint8_t*>(msg.data()),
+                               msg.size()});
+  EXPECT_EQ(std::string(reply.begin(), reply.end()), "hello world");
+  EXPECT_GT(loop.now_us(), 0u);
+}
+
+TEST(Network, TcpConnectToClosedPortFails) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  auto conn = net.tcp_connect({*IpAddress::parse("192.0.2.1"), 40000},
+                              {*IpAddress::parse("10.0.0.3"), 443});
+  EXPECT_FALSE(conn.has_value());
+}
+
+TEST(Network, LossRateIsApproximatelyHonored) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  EchoService echo;
+  Endpoint server{*IpAddress::parse("10.0.0.7"), 443};
+  net.add_udp_service(server, &echo);
+  net.set_link(server.addr, {.latency_us = 10, .loss = 0.5, .silent = false});
+  auto sock = net.open_udp({*IpAddress::parse("192.0.2.9"), 5001});
+  int received = 0;
+  sock->set_receiver(
+      [&](const Endpoint&, std::span<const uint8_t>) { ++received; });
+  const int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) sock->send(server, {1});
+  loop.run();
+  // Both directions traverse the lossy link: expected delivery 25 %.
+  EXPECT_GT(received, kProbes / 8);
+  EXPECT_LT(received, kProbes / 2);
+}
+
+TEST(Network, TapSeesEveryDatagramIncludingDropped) {
+  netsim::EventLoop loop;
+  netsim::Network net(loop);
+  EchoService echo;
+  Endpoint server{*IpAddress::parse("10.0.0.8"), 443};
+  net.add_udp_service(server, &echo);
+  net.set_link(server.addr, {.latency_us = 10, .loss = 0, .silent = true});
+  size_t tapped = 0;
+  net.set_tap([&](const Endpoint&, const Endpoint&,
+                  std::span<const uint8_t>) { ++tapped; });
+  auto sock = net.open_udp({*IpAddress::parse("192.0.2.9"), 5002});
+  for (int i = 0; i < 5; ++i) sock->send(server, {1});
+  loop.run();
+  EXPECT_EQ(tapped, 5u);  // silent drop happens after the tap
+}
+
+TEST(EventLoop, CancelFromWithinCallback) {
+  netsim::EventLoop loop;
+  bool second_fired = false;
+  netsim::TimerId second = 0;
+  loop.schedule_in(10, [&] { loop.cancel(second); });
+  second = loop.schedule_in(20, [&] { second_fired = true; });
+  loop.run();
+  EXPECT_FALSE(second_fired);
+}
+
+}  // namespace

@@ -1,0 +1,460 @@
+// End-to-end QUIC handshake tests: ClientConnection <-> ServerConnection
+// over a direct loopback, covering the success path and every failure
+// mode the paper's Table 3 classifies (version mismatch, crypto error
+// 0x128, stall/timeout), plus TLS/transport-parameter extraction.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "quic/connection.h"
+
+namespace {
+
+using namespace quic;
+
+tls::Certificate make_cert(const std::string& cn,
+                           std::vector<std::string> sans,
+                           const std::string& issuer = "Example CA") {
+  tls::Certificate cert;
+  cert.subject_cn = cn;
+  cert.san_dns = std::move(sans);
+  cert.issuer_cn = issuer;
+  cert.serial = 42;
+  cert.not_before_day = 100;
+  cert.not_after_day = 190;
+  cert.public_key_id = 777;
+  std::vector<uint8_t> ca_key{1, 2, 3};
+  tls::sign_certificate(cert, ca_key);
+  return cert;
+}
+
+DeploymentBehavior default_behavior() {
+  DeploymentBehavior b;
+  b.handshake_versions = {kVersion1, kDraft29};
+  b.advertised_versions = {kVersion1, kDraft29};
+  b.alpn = {"h3", "h3-29"};
+  b.transport_params.initial_max_data = 1048576;
+  b.transport_params.initial_max_stream_data_bidi_local = 65536;
+  b.transport_params.max_udp_payload_size = 1500;
+  auto cert = make_cert("example.com", {"example.com", "*.example.com"});
+  b.select_certificate =
+      [cert](const std::optional<std::string>&) -> std::optional<tls::Certificate> {
+    return cert;
+  };
+  b.http_responder = [](const std::string&) {
+    return "HTTP/1.1 200 OK\r\nserver: testd\r\n\r\n";
+  };
+  return b;
+}
+
+/// Queued loopback harness: datagrams are dispatched from a FIFO pump,
+/// never reentrantly, so server sessions can be replaced safely (a new
+/// Initial DCID -- version retry or post-Retry -- gets a fresh session,
+/// as a real deployment's demultiplexer would provide).
+struct Loopback {
+  const DeploymentBehavior& behavior;
+  uint64_t seed;
+  std::unique_ptr<ServerConnection> server;
+  ClientConnection* client = nullptr;
+  std::vector<uint8_t> session_dcid;
+  std::deque<std::pair<bool, std::vector<uint8_t>>> queue;  // to_server?
+
+  explicit Loopback(const DeploymentBehavior& b, uint64_t s)
+      : behavior(b), seed(s) {}
+
+  void pump() {
+    while (!queue.empty()) {
+      auto [to_server, datagram] = std::move(queue.front());
+      queue.pop_front();
+      if (to_server) {
+        auto info = peek_datagram(datagram);
+        if (!server || (info && info->long_header &&
+                        info->type == PacketType::kInitial &&
+                        info->dcid != session_dcid)) {
+          if (info) session_dcid = info->dcid;
+          server = std::make_unique<ServerConnection>(
+              behavior, crypto::Rng(seed + 1),
+              [this](std::vector<uint8_t> reply) {
+                queue.emplace_back(false, std::move(reply));
+              });
+        }
+        server->on_datagram(datagram);
+      } else if (client) {
+        client->on_datagram(datagram);
+      }
+    }
+  }
+};
+
+/// Runs a handshake over a zero-latency loopback; returns the report.
+ClientReport run_handshake(ClientConfig config,
+                           const DeploymentBehavior& behavior,
+                           uint64_t seed = 1) {
+  Loopback loopback(behavior, seed);
+  ClientConnection client(
+      std::move(config), crypto::Rng(seed),
+      [&](std::vector<uint8_t> datagram) {
+        loopback.queue.emplace_back(true, std::move(datagram));
+      },
+      /*done=*/nullptr);
+  loopback.client = &client;
+  client.start();
+  loopback.pump();
+  return client.report();
+}
+
+TEST(Handshake, SuccessWithSniAndHttp) {
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "www.example.com";
+  config.alpn = {"h3"};
+  config.http_request = "HEAD / HTTP/1.1\r\nhost: www.example.com\r\n\r\n";
+  auto report = run_handshake(config, default_behavior());
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(report.negotiated_version, kVersion1);
+  EXPECT_TRUE(report.handshake_done_seen);
+  ASSERT_TRUE(report.http_response.has_value());
+  EXPECT_NE(report.http_response->find("server: testd"), std::string::npos);
+}
+
+TEST(Handshake, TlsDetailsExtracted) {
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "www.example.com";
+  config.alpn = {"h3"};
+  auto report = run_handshake(config, default_behavior());
+  ASSERT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(report.tls.negotiated_version, tls::kVersion13);
+  EXPECT_EQ(report.tls.cipher_suite, tls::CipherSuite::kAes128GcmSha256);
+  EXPECT_EQ(report.tls.key_exchange_group,
+            static_cast<uint16_t>(tls::NamedGroup::kX25519));
+  ASSERT_EQ(report.tls.certificate_chain.size(), 1u);
+  EXPECT_EQ(report.tls.certificate_chain[0].subject_cn, "example.com");
+  EXPECT_TRUE(report.tls.certificate_chain[0].matches_host("www.example.com"));
+  EXPECT_EQ(report.tls.selected_alpn, "h3");
+  EXPECT_TRUE(report.tls.sni_echoed);
+}
+
+TEST(Handshake, ServerTransportParamsExtracted) {
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  config.alpn = {"h3"};
+  auto behavior = default_behavior();
+  auto report = run_handshake(config, behavior);
+  ASSERT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(report.server_transport_params.initial_max_data, 1048576u);
+  EXPECT_EQ(report.server_transport_params.max_udp_payload_size, 1500u);
+  // Session-specific parameters were set by the server...
+  EXPECT_TRUE(
+      report.server_transport_params.stateless_reset_token.has_value());
+  EXPECT_TRUE(report.server_transport_params.original_destination_connection_id
+                  .has_value());
+  // ...but the config key matches the behavior's template.
+  EXPECT_EQ(report.server_transport_params.config_key(),
+            behavior.transport_params.config_key());
+}
+
+TEST(Handshake, SuccessOnDraft29UsesDraftCodepointAndSalt) {
+  ClientConfig config;
+  config.version = kDraft29;
+  config.sni = "example.com";
+  config.alpn = {"h3-29"};
+  auto report = run_handshake(config, default_behavior());
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(report.negotiated_version, kDraft29);
+  EXPECT_EQ(report.tls.selected_alpn, "h3-29");
+}
+
+TEST(Handshake, NoSniRejectedWhenCertificateRequiresIt) {
+  auto behavior = default_behavior();
+  behavior.handshake_failure_reason = "tls: no application protocol";
+  behavior.select_certificate =
+      [](const std::optional<std::string>& sni)
+      -> std::optional<tls::Certificate> {
+    if (!sni) return std::nullopt;  // SNI required
+    return make_cert(*sni, {*sni});
+  };
+  ClientConfig config;
+  config.version = kVersion1;
+  config.alpn = {"h3"};
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kCryptoError);
+  EXPECT_EQ(report.close_error_code, 0x128u);  // the paper's alert
+  EXPECT_EQ(report.close_reason, "tls: no application protocol");
+}
+
+TEST(Handshake, AlwaysFailureDeployment) {
+  auto behavior = default_behavior();
+  behavior.always_handshake_failure = true;
+  behavior.handshake_failure_reason = "handshake failure";
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kCryptoError);
+  EXPECT_EQ(report.close_error_code, 0x128u);
+}
+
+TEST(Handshake, VersionNegotiationRetrySucceeds) {
+  auto behavior = default_behavior();
+  behavior.handshake_versions = {kDraft29};
+  behavior.advertised_versions = {kDraft29, kQ050, kQ046};
+  ClientConfig config;
+  config.version = kVersion1;  // not supported; server answers VN
+  config.compatible_versions = {kVersion1, kDraft34, kDraft32, kDraft29};
+  config.sni = "example.com";
+  config.alpn = {"h3-29", "h3"};
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(report.negotiated_version, kDraft29);
+  EXPECT_EQ(report.version_retries, 1);
+  EXPECT_EQ(report.peer_versions,
+            (std::vector<Version>{kDraft29, kQ050, kQ046}));
+}
+
+TEST(Handshake, GoogleStyleVersionMismatch) {
+  // The paper's most unexpected error: the server advertises draft-29 in
+  // VN but cannot complete a handshake with it (iterative IETF roll-out
+  // at Google, section 5). The client offers draft-29, receives VN
+  // listing draft-29 -> mismatch.
+  auto behavior = default_behavior();
+  behavior.handshake_versions = {kQ050, kQ046, kQ043};  // gQUIC only
+  behavior.advertised_versions = {kDraft29, kT051, kQ050, kQ046, kQ043};
+  ClientConfig config;
+  config.version = kDraft29;
+  config.compatible_versions = {kDraft29, kDraft32, kDraft34};
+  config.sni = "example.com";
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kVersionMismatch);
+  EXPECT_EQ(report.peer_versions.size(), 5u);
+}
+
+TEST(Handshake, StallYieldsPending) {
+  auto behavior = default_behavior();
+  behavior.stall_handshake = true;  // middlebox swallows the Initial
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kPending);  // caller -> timeout
+}
+
+TEST(Handshake, NoCommonAlpnFails) {
+  auto behavior = default_behavior();
+  behavior.alpn = {"h3-27"};
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  config.alpn = {"h3"};
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kCryptoError);
+  EXPECT_EQ(report.close_error_code,
+            crypto_error(static_cast<uint8_t>(
+                tls::AlertDescription::kNoApplicationProtocol)));
+}
+
+TEST(Handshake, CertificateSelectionBySni) {
+  auto cert_a = make_cert("a.example", {"a.example"});
+  auto cert_b = make_cert("b.example", {"b.example"});
+  auto behavior = default_behavior();
+  behavior.select_certificate =
+      [&](const std::optional<std::string>& sni)
+      -> std::optional<tls::Certificate> {
+    if (sni == "a.example") return cert_a;
+    if (sni == "b.example") return cert_b;
+    return std::nullopt;
+  };
+  ClientConfig config;
+  config.version = kVersion1;
+  config.alpn = {"h3"};
+  config.sni = "b.example";
+  auto report = run_handshake(config, behavior);
+  ASSERT_EQ(report.result, ConnectResult::kSuccess);
+  ASSERT_EQ(report.tls.certificate_chain.size(), 1u);
+  EXPECT_EQ(report.tls.certificate_chain[0].subject_cn, "b.example");
+}
+
+TEST(Handshake, SuccessWithoutSniWhenDefaultCertExists) {
+  ClientConfig config;
+  config.version = kVersion1;
+  config.alpn = {"h3"};
+  auto report = run_handshake(config, default_behavior());
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_FALSE(report.tls.sni_echoed);
+}
+
+class HandshakeVersionMatrix : public ::testing::TestWithParam<Version> {};
+
+TEST_P(HandshakeVersionMatrix, FullHandshakePerVersion) {
+  auto behavior = default_behavior();
+  behavior.handshake_versions = {GetParam()};
+  behavior.advertised_versions = {GetParam()};
+  behavior.alpn = {"h3", "h3-29", "h3-32", "h3-34", "h3-27", "h3-28"};
+  ClientConfig config;
+  config.version = GetParam();
+  config.sni = "example.com";
+  config.alpn = {"h3", "h3-29", "h3-32", "h3-34", "h3-27", "h3-28"};
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kSuccess)
+      << version_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIetfVersions, HandshakeVersionMatrix,
+                         ::testing::Values(kVersion1, kDraft29, kDraft32,
+                                           kDraft34, kDraft28, kDraft27));
+
+TEST(Handshake, DistinctSeedsDistinctConnectionIds) {
+  // Determinism check: same seed -> same wire bytes; different seed ->
+  // different DCIDs (and so different Initial keys).
+  std::vector<uint8_t> first_a, first_b, first_c;
+  auto capture = [](std::vector<uint8_t>& out) {
+    return [&out](std::vector<uint8_t> d) {
+      if (out.empty()) out = std::move(d);
+    };
+  };
+  ClientConfig config;
+  config.version = kVersion1;
+  ClientConnection a(config, crypto::Rng(5), capture(first_a), nullptr);
+  ClientConnection b(config, crypto::Rng(5), capture(first_b), nullptr);
+  ClientConnection c(config, crypto::Rng(6), capture(first_c), nullptr);
+  a.start();
+  b.start();
+  c.start();
+  EXPECT_EQ(first_a, first_b);
+  EXPECT_NE(first_a, first_c);
+}
+
+TEST(Handshake, RetryAddressValidation) {
+  auto behavior = default_behavior();
+  behavior.require_retry = true;
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "www.example.com";
+  config.alpn = {"h3"};
+  config.http_request = "HEAD / HTTP/1.1\r\n\r\n";
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_TRUE(report.retry_used);
+  // RFC 9000 section 7.3: the server authenticates the Retry exchange
+  // in its transport parameters.
+  EXPECT_TRUE(
+      report.server_transport_params.retry_source_connection_id.has_value());
+  EXPECT_TRUE(report.server_transport_params.original_destination_connection_id
+                  .has_value());
+}
+
+TEST(Handshake, RetryOnDraft29UsesDraftIntegrityKeys) {
+  auto behavior = default_behavior();
+  behavior.require_retry = true;
+  behavior.handshake_versions = {kDraft29};
+  behavior.advertised_versions = {kDraft29};
+  ClientConfig config;
+  config.version = kDraft29;
+  config.sni = "example.com";
+  config.alpn = {"h3-29"};
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  EXPECT_TRUE(report.retry_used);
+}
+
+TEST(Retry, EncodeDecodeRoundTripAndTamperRejection) {
+  RetryPacket retry;
+  retry.version = kVersion1;
+  retry.dcid = {1, 2, 3, 4};
+  retry.scid = {5, 6, 7, 8, 9, 10, 11, 12};
+  retry.token = {'r', 't', 0xaa, 0xbb};
+  std::vector<uint8_t> odcid{9, 9, 9, 9, 9, 9, 9, 9};
+  auto bytes = encode_retry(retry, odcid);
+  auto decoded = decode_retry(bytes, odcid);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->scid, retry.scid);
+  EXPECT_EQ(decoded->token, retry.token);
+  // Wrong ODCID -> integrity check fails (off-path spoofing defense).
+  std::vector<uint8_t> wrong_odcid{1, 1, 1, 1};
+  EXPECT_FALSE(decode_retry(bytes, wrong_odcid).has_value());
+  // Flipped token byte -> rejected.
+  auto tampered = bytes;
+  tampered[10] ^= 1;
+  EXPECT_FALSE(decode_retry(tampered, odcid).has_value());
+}
+
+TEST(Handshake, SecondRetryIgnored) {
+  // A client accepts at most one Retry; a duplicated Retry must not
+  // reset connection state (RFC 9000 section 17.2.5.2).
+  auto behavior = default_behavior();
+  behavior.require_retry = true;
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  config.alpn = {"h3"};
+  Loopback loopback(behavior, 77);
+  int retries_seen = 0;
+  ClientConnection client(
+      config, crypto::Rng(77),
+      [&](std::vector<uint8_t> datagram) {
+        loopback.queue.emplace_back(true, std::move(datagram));
+      },
+      nullptr);
+  loopback.client = &client;
+  client.start();
+  // Pump manually so Retry packets can be duplicated in flight.
+  while (!loopback.queue.empty()) {
+    auto [to_server, datagram] = std::move(loopback.queue.front());
+    loopback.queue.pop_front();
+    if (to_server) {
+      auto info = peek_datagram(datagram);
+      if (!loopback.server ||
+          (info && info->long_header &&
+           info->type == PacketType::kInitial &&
+           info->dcid != loopback.session_dcid)) {
+        if (info) loopback.session_dcid = info->dcid;
+        loopback.server = std::make_unique<ServerConnection>(
+            behavior, crypto::Rng(78), [&](std::vector<uint8_t> reply) {
+              auto rinfo = peek_datagram(reply);
+              if (rinfo && rinfo->type == PacketType::kRetry) {
+                ++retries_seen;
+                loopback.queue.emplace_back(false, reply);  // duplicate
+              }
+              loopback.queue.emplace_back(false, std::move(reply));
+            });
+      }
+      loopback.server->on_datagram(datagram);
+    } else {
+      client.on_datagram(datagram);
+    }
+  }
+  EXPECT_EQ(retries_seen, 1);
+  EXPECT_EQ(client.report().result, ConnectResult::kSuccess);
+  EXPECT_TRUE(client.report().retry_used);
+}
+
+TEST(Handshake, VersionInformationAdvertisedAndValidated) {
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  config.alpn = {"h3"};
+  auto report = run_handshake(config, default_behavior());
+  ASSERT_EQ(report.result, ConnectResult::kSuccess);
+  const auto& info = report.server_transport_params.version_information;
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->chosen, kVersion1);
+  EXPECT_EQ(info->available, (std::vector<uint32_t>{kVersion1, kDraft29}));
+}
+
+TEST(TransportParams, VersionInformationRoundTrip) {
+  TransportParameters tp;
+  TransportParameters::VersionInformation info;
+  info.chosen = kVersion1;
+  info.available = {kVersion1, kDraft29, kDraft27};
+  tp.version_information = info;
+  auto decoded = decode_transport_parameters(encode_transport_parameters(tp));
+  ASSERT_TRUE(decoded.version_information.has_value());
+  EXPECT_EQ(*decoded.version_information, info);
+  // Not part of the configuration key (it mirrors the version set, not
+  // the performance configuration).
+  TransportParameters other;
+  EXPECT_EQ(tp.config_key(), other.config_key());
+}
+
+}  // namespace

@@ -1,0 +1,340 @@
+// TLS stack tests: extension codec, handshake message codec,
+// certificates (wildcards, signing, rotation identity), key schedule
+// symmetry and record-layer encryption.
+#include <gtest/gtest.h>
+
+#include "tls/extensions.h"
+#include "tls/handshake.h"
+#include "tls/key_schedule.h"
+#include "tls/record.h"
+#include "crypto/rng.h"
+
+namespace {
+
+using namespace tls;
+
+TEST(Extensions, SniRoundTrip) {
+  std::vector<Extension> exts{SniExtension{"www.example.com"}};
+  wire::Writer w;
+  encode_extensions(w, exts, HandshakeContext::kClientHello);
+  wire::Reader r(w.span());
+  auto decoded = decode_extensions(r, HandshakeContext::kClientHello);
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(std::get<SniExtension>(decoded[0]).host_name, "www.example.com");
+}
+
+TEST(Extensions, AlpnRoundTrip) {
+  std::vector<Extension> exts{AlpnExtension{{"h3", "h3-29", "http/1.1"}}};
+  wire::Writer w;
+  encode_extensions(w, exts, HandshakeContext::kClientHello);
+  wire::Reader r(w.span());
+  auto decoded = decode_extensions(r, HandshakeContext::kClientHello);
+  EXPECT_EQ(std::get<AlpnExtension>(decoded[0]).protocols,
+            (std::vector<std::string>{"h3", "h3-29", "http/1.1"}));
+}
+
+TEST(Extensions, SupportedVersionsContextSensitive) {
+  // ClientHello: list; ServerHello: single selection.
+  std::vector<Extension> ch_exts{
+      SupportedVersionsExtension{{kVersion13, kVersion12}}};
+  wire::Writer w1;
+  encode_extensions(w1, ch_exts, HandshakeContext::kClientHello);
+  wire::Reader r1(w1.span());
+  auto d1 = decode_extensions(r1, HandshakeContext::kClientHello);
+  EXPECT_EQ(std::get<SupportedVersionsExtension>(d1[0]).versions.size(), 2u);
+
+  std::vector<Extension> sh_exts{SupportedVersionsExtension{{kVersion13}}};
+  wire::Writer w2;
+  encode_extensions(w2, sh_exts, HandshakeContext::kServerHello);
+  wire::Reader r2(w2.span());
+  auto d2 = decode_extensions(r2, HandshakeContext::kServerHello);
+  EXPECT_EQ(std::get<SupportedVersionsExtension>(d2[0]).versions,
+            (std::vector<uint16_t>{kVersion13}));
+}
+
+TEST(Extensions, TransportParamsCodepointPreserved) {
+  for (uint16_t cp : {uint16_t{0x39}, uint16_t{0xffa5}}) {
+    std::vector<Extension> exts{
+        TransportParametersExtension{cp, {1, 2, 3}}};
+    wire::Writer w;
+    encode_extensions(w, exts, HandshakeContext::kEncryptedExtensions);
+    wire::Reader r(w.span());
+    auto decoded = decode_extensions(r, HandshakeContext::kEncryptedExtensions);
+    const auto& tp = std::get<TransportParametersExtension>(decoded[0]);
+    EXPECT_EQ(tp.codepoint, cp);
+    EXPECT_EQ(tp.payload, (std::vector<uint8_t>{1, 2, 3}));
+  }
+}
+
+TEST(Extensions, UnknownSurvivesAsRaw) {
+  std::vector<Extension> exts{RawExtension{0x1234, {0xde, 0xad}}};
+  wire::Writer w;
+  encode_extensions(w, exts, HandshakeContext::kClientHello);
+  wire::Reader r(w.span());
+  auto decoded = decode_extensions(r, HandshakeContext::kClientHello);
+  const auto& raw = std::get<RawExtension>(decoded[0]);
+  EXPECT_EQ(raw.type, 0x1234);
+  EXPECT_EQ(raw.data, (std::vector<uint8_t>{0xde, 0xad}));
+}
+
+TEST(Handshake, ClientHelloRoundTrip) {
+  ClientHello ch;
+  ch.random.fill(0x42);
+  ch.cipher_suites = {CipherSuite::kAes128GcmSha256,
+                      CipherSuite::kChaCha20Poly1305Sha256};
+  ch.extensions.push_back(SniExtension{"example.com"});
+  ch.extensions.push_back(KeyShareExtension{
+      {{static_cast<uint16_t>(NamedGroup::kX25519), {1, 2, 3, 4, 5, 6, 7, 8}}}});
+  auto bytes = encode_handshake(ch);
+  wire::Reader r(bytes);
+  auto msg = decode_handshake(r);
+  const auto& decoded = std::get<ClientHello>(msg);
+  EXPECT_EQ(decoded.random, ch.random);
+  EXPECT_EQ(decoded.cipher_suites, ch.cipher_suites);
+  ASSERT_EQ(decoded.extensions.size(), 2u);
+  EXPECT_EQ(find_sni(decoded.extensions)->host_name, "example.com");
+}
+
+TEST(Handshake, ServerHelloNegotiatedVersion) {
+  ServerHello sh;
+  EXPECT_EQ(sh.negotiated_version(), kVersion12);  // no extension -> legacy
+  sh.extensions.push_back(SupportedVersionsExtension{{kVersion13}});
+  EXPECT_EQ(sh.negotiated_version(), kVersion13);
+}
+
+TEST(Handshake, FlightRoundTrip) {
+  EncryptedExtensions ee;
+  ee.extensions.push_back(AlpnExtension{{"h3"}});
+  Certificate cert;
+  cert.subject_cn = "example.com";
+  cert.issuer_cn = "CA";
+  CertificateMessage cm;
+  cm.chain.push_back(cert);
+  Finished fin;
+  fin.verify_data.assign(32, 0xaa);
+
+  std::vector<uint8_t> flight;
+  for (const HandshakeMessage& msg :
+       std::initializer_list<HandshakeMessage>{ee, cm, fin}) {
+    auto bytes = encode_handshake(msg);
+    flight.insert(flight.end(), bytes.begin(), bytes.end());
+  }
+  auto decoded = decode_handshake_flight(flight);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<EncryptedExtensions>(decoded[0]));
+  EXPECT_TRUE(std::holds_alternative<CertificateMessage>(decoded[1]));
+  EXPECT_TRUE(std::holds_alternative<Finished>(decoded[2]));
+}
+
+TEST(Certificate, WildcardMatching) {
+  EXPECT_TRUE(wildcard_match("example.com", "example.com"));
+  EXPECT_FALSE(wildcard_match("example.com", "www.example.com"));
+  EXPECT_TRUE(wildcard_match("*.example.com", "www.example.com"));
+  EXPECT_FALSE(wildcard_match("*.example.com", "example.com"));
+  EXPECT_FALSE(wildcard_match("*.example.com", "a.b.example.com"));
+  EXPECT_FALSE(wildcard_match("*.example.com", "wwwexample.com"));
+  EXPECT_FALSE(wildcard_match("*", "example.com"));
+}
+
+TEST(Certificate, MatchesHostViaSan) {
+  Certificate cert;
+  cert.subject_cn = "cdn.example";
+  cert.san_dns = {"cdn.example", "*.customer.example"};
+  EXPECT_TRUE(cert.matches_host("cdn.example"));
+  EXPECT_TRUE(cert.matches_host("www.customer.example"));
+  EXPECT_FALSE(cert.matches_host("other.example"));
+}
+
+TEST(Certificate, SignVerify) {
+  Certificate cert;
+  cert.subject_cn = "example.com";
+  cert.issuer_cn = "Example CA";
+  cert.serial = 7;
+  std::vector<uint8_t> ca_key{1, 2, 3, 4};
+  sign_certificate(cert, ca_key);
+  EXPECT_TRUE(verify_certificate(cert, ca_key));
+  std::vector<uint8_t> other_key{9, 9, 9};
+  EXPECT_FALSE(verify_certificate(cert, other_key));
+  cert.subject_cn = "evil.com";
+  EXPECT_TRUE(cert.self_signed() == false);
+  EXPECT_FALSE(verify_certificate(cert, ca_key));
+}
+
+TEST(Certificate, EncodeDecodeFingerprint) {
+  Certificate cert;
+  cert.subject_cn = "example.com";
+  cert.san_dns = {"example.com", "*.example.com"};
+  cert.issuer_cn = "Example CA";
+  cert.serial = 99;
+  cert.not_before_day = 18700;
+  cert.not_after_day = 18790;
+  cert.public_key_id = 12345;
+  sign_certificate(cert, std::vector<uint8_t>{5, 5});
+  auto decoded = Certificate::decode(cert.encode());
+  EXPECT_EQ(decoded, cert);
+  EXPECT_EQ(decoded.fingerprint(), cert.fingerprint());
+  // Rotation (new serial/validity) changes the fingerprint -- this is
+  // what makes Google's weekly rotation visible in Table 5.
+  Certificate rotated = cert;
+  rotated.serial = 100;
+  rotated.not_before_day += 7;
+  rotated.not_after_day += 7;
+  sign_certificate(rotated, std::vector<uint8_t>{5, 5});
+  EXPECT_NE(rotated.fingerprint(), cert.fingerprint());
+}
+
+TEST(Certificate, SelfSigned) {
+  Certificate cert;
+  cert.subject_cn = "invalid2.invalid";
+  cert.issuer_cn = "invalid2.invalid";
+  EXPECT_TRUE(cert.self_signed());
+}
+
+TEST(KeySchedule, BothSidesDeriveSameSecrets) {
+  // Simulate both endpoints feeding identical transcripts.
+  std::vector<uint8_t> ch(100, 1), sh(80, 2), ee(60, 3), fin(36, 4);
+  std::vector<uint8_t> shared{9, 8, 7, 6, 5, 4, 3, 2};
+  KeySchedule client, server;
+  for (auto* ks : {&client, &server}) {
+    ks->add_message(ch);
+    ks->add_message(sh);
+    ks->derive_handshake_secrets(shared);
+    ks->add_message(ee);
+    ks->add_message(fin);
+    ks->derive_application_secrets();
+  }
+  EXPECT_EQ(client.client_handshake_secret(), server.client_handshake_secret());
+  EXPECT_EQ(client.server_application_secret(),
+            server.server_application_secret());
+  EXPECT_NE(client.client_handshake_secret(),
+            client.server_handshake_secret());
+}
+
+TEST(KeySchedule, TranscriptSensitivity) {
+  std::vector<uint8_t> shared{1, 2, 3};
+  KeySchedule a, b;
+  a.add_message(std::vector<uint8_t>{1, 2, 3});
+  b.add_message(std::vector<uint8_t>{1, 2, 4});
+  a.derive_handshake_secrets(shared);
+  b.derive_handshake_secrets(shared);
+  EXPECT_NE(a.client_handshake_secret(), b.client_handshake_secret());
+}
+
+TEST(KeySchedule, QuicAndTlsKeysDiffer) {
+  std::vector<uint8_t> secret(32, 0x11);
+  auto quic_keys = derive_traffic_keys(secret, KeyUsage::kQuic);
+  auto tls_keys = derive_traffic_keys(secret, KeyUsage::kTls);
+  EXPECT_NE(quic_keys.key, tls_keys.key);
+  EXPECT_EQ(quic_keys.key.size(), 16u);
+  EXPECT_EQ(quic_keys.iv.size(), 12u);
+  EXPECT_EQ(quic_keys.hp.size(), 16u);
+  EXPECT_TRUE(tls_keys.hp.empty());
+}
+
+TEST(Record, PlaintextRoundTrip) {
+  Record rec;
+  rec.type = ContentType::kHandshake;
+  rec.payload = {1, 2, 3, 4};
+  auto bytes = encode_record(rec);
+  auto records = decode_records(bytes);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, ContentType::kHandshake);
+  EXPECT_EQ(records[0].payload, rec.payload);
+}
+
+TEST(Record, StreamOfRecords) {
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    Record rec;
+    rec.type = ContentType::kHandshake;
+    rec.payload = std::vector<uint8_t>(static_cast<size_t>(i + 1),
+                                       static_cast<uint8_t>(i));
+    auto bytes = encode_record(rec);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  EXPECT_EQ(decode_records(stream).size(), 3u);
+}
+
+TEST(Record, CrypterSealOpen) {
+  crypto::Rng rng(3);
+  TrafficKeys keys;
+  keys.key = rng.bytes(16);
+  keys.iv = rng.bytes(12);
+  RecordCrypter tx(keys), rx(keys);
+  for (int i = 0; i < 5; ++i) {  // sequence numbers advance in step
+    auto payload = rng.bytes(50);
+    auto bytes = tx.seal(ContentType::kHandshake, payload);
+    auto records = decode_records(bytes);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].type, ContentType::kApplicationData);
+    auto opened = rx.open(records[0]);
+    ASSERT_TRUE(opened.has_value()) << "record " << i;
+    EXPECT_EQ(opened->type, ContentType::kHandshake);
+    EXPECT_EQ(opened->payload, payload);
+  }
+}
+
+TEST(Record, CrypterRejectsTampering) {
+  crypto::Rng rng(4);
+  TrafficKeys keys;
+  keys.key = rng.bytes(16);
+  keys.iv = rng.bytes(12);
+  RecordCrypter tx(keys), rx(keys);
+  auto bytes = tx.seal(ContentType::kApplicationData, rng.bytes(20));
+  bytes[bytes.size() - 1] ^= 1;
+  auto records = decode_records(bytes);
+  EXPECT_FALSE(rx.open(records[0]).has_value());
+}
+
+TEST(Record, WrongKeysCannotOpen) {
+  crypto::Rng rng(5);
+  TrafficKeys keys1, keys2;
+  keys1.key = rng.bytes(16);
+  keys1.iv = rng.bytes(12);
+  keys2.key = rng.bytes(16);
+  keys2.iv = rng.bytes(12);
+  RecordCrypter tx(keys1), rx(keys2);
+  auto bytes = tx.seal(ContentType::kApplicationData, rng.bytes(20));
+  EXPECT_FALSE(rx.open(decode_records(bytes)[0]).has_value());
+}
+
+TEST(Types, AlertAndCipherNames) {
+  EXPECT_EQ(alert_name(AlertDescription::kHandshakeFailure),
+            "handshake_failure");
+  EXPECT_EQ(static_cast<int>(AlertDescription::kHandshakeFailure), 0x28);
+  EXPECT_EQ(cipher_suite_name(CipherSuite::kAes128GcmSha256),
+            "TLS_AES_128_GCM_SHA256");
+  EXPECT_EQ(named_group_name(NamedGroup::kX25519), "x25519");
+}
+
+TEST(Record, OutOfOrderSequenceFailsToOpen) {
+  crypto::Rng rng(6);
+  TrafficKeys keys;
+  keys.key = rng.bytes(16);
+  keys.iv = rng.bytes(12);
+  RecordCrypter tx(keys), rx(keys);
+  auto first = tx.seal(ContentType::kApplicationData, rng.bytes(10));
+  auto second = tx.seal(ContentType::kApplicationData, rng.bytes(10));
+  // Opening the second record first uses the wrong nonce sequence.
+  EXPECT_FALSE(rx.open(decode_records(second)[0]).has_value());
+  // And the in-order record still opens (failed opens do not advance).
+  EXPECT_TRUE(rx.open(decode_records(first)[0]).has_value());
+}
+
+TEST(Certificate, EmptySanListStillMatchesCn) {
+  Certificate cert;
+  cert.subject_cn = "single.example";
+  cert.issuer_cn = "CA";
+  EXPECT_TRUE(cert.matches_host("single.example"));
+  EXPECT_FALSE(cert.matches_host("other.example"));
+}
+
+TEST(Handshake, EmptyAlpnListRejectedOnWire) {
+  // RFC 7301 forbids empty protocol names; the codec enforces it.
+  std::vector<Extension> exts{AlpnExtension{{""}}};
+  wire::Writer w;
+  EXPECT_THROW(encode_extensions(w, exts, HandshakeContext::kClientHello),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Wire toolkit tests: integer primitives, QUIC varints (RFC 9000
+// section 16 + Appendix A.1 examples), hex codec, length framing.
+#include <gtest/gtest.h>
+
+#include "wire/buffer.h"
+
+namespace {
+
+TEST(Writer, BigEndianIntegers) {
+  wire::Writer w;
+  w.u8(0x01);
+  w.u16(0x0203);
+  w.u24(0x040506);
+  w.u32(0x0708090a);
+  w.u64(0x0b0c0d0e0f101112);
+  EXPECT_EQ(wire::to_hex(w.span()), "0102030405060708090a0b0c0d0e0f101112");
+}
+
+TEST(Reader, BigEndianIntegers) {
+  auto data = wire::from_hex("0102030405060708090a0b0c0d0e0f101112");
+  wire::Reader r(data);
+  EXPECT_EQ(r.u8(), 0x01);
+  EXPECT_EQ(r.u16(), 0x0203);
+  EXPECT_EQ(r.u24(), 0x040506u);
+  EXPECT_EQ(r.u32(), 0x0708090au);
+  EXPECT_EQ(r.u64(), 0x0b0c0d0e0f101112ull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Reader, ThrowsOnOverrun) {
+  auto data = wire::from_hex("01");
+  wire::Reader r(data);
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.u8(), wire::DecodeError);
+}
+
+TEST(Varint, Rfc9000AppendixExamples) {
+  // RFC 9000 A.1 sample decodings.
+  struct Case {
+    const char* hex;
+    uint64_t value;
+  } cases[] = {
+      {"c2197c5eff14e88c", 151288809941952652ull},
+      {"9d7f3e7d", 494878333ull},
+      {"7bbd", 15293ull},
+      {"25", 37ull},
+  };
+  for (const auto& c : cases) {
+    auto bytes = wire::from_hex(c.hex);
+    wire::Reader r(bytes);
+    EXPECT_EQ(r.varint(), c.value) << c.hex;
+    EXPECT_TRUE(r.done());
+    wire::Writer w;
+    w.varint(c.value);
+    EXPECT_EQ(wire::to_hex(w.span()), c.hex);
+  }
+}
+
+TEST(Varint, RejectsOutOfRange) {
+  wire::Writer w;
+  EXPECT_THROW(w.varint(uint64_t{1} << 62), std::invalid_argument);
+  EXPECT_NO_THROW(w.varint(wire::kVarintMax));
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, EncodeDecodeIdentity) {
+  uint64_t v = GetParam();
+  wire::Writer w;
+  w.varint(v);
+  EXPECT_EQ(w.size(), wire::varint_size(v));
+  wire::Reader r(w.span());
+  EXPECT_EQ(r.varint(), v);
+  EXPECT_TRUE(r.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 62ull, 63ull, 64ull, 16382ull, 16383ull,
+                      16384ull, 1073741822ull, 1073741823ull, 1073741824ull,
+                      wire::kVarintMax - 1, wire::kVarintMax));
+
+TEST(Hex, RoundTrip) {
+  auto bytes = wire::from_hex("00ff10ab");
+  EXPECT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(wire::to_hex(bytes), "00ff10ab");
+}
+
+TEST(Hex, UppercaseAccepted) {
+  EXPECT_EQ(wire::from_hex("ABCD"), wire::from_hex("abcd"));
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(wire::from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(wire::from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Writer, LengthFraming) {
+  wire::Writer w;
+  w.u8(0xaa);
+  size_t at = w.begin_length(2);
+  w.str("hello");
+  w.fill_length(at, 2);
+  EXPECT_EQ(wire::to_hex(w.span()), "aa000568656c6c6f");
+}
+
+TEST(Writer, ThreeByteLengthFraming) {
+  wire::Writer w;
+  size_t at = w.begin_length(3);
+  w.zeros(300);
+  w.fill_length(at, 3);
+  wire::Reader r(w.span());
+  EXPECT_EQ(r.u24(), 300u);
+}
+
+TEST(Reader, RestConsumesEverything) {
+  auto data = wire::from_hex("010203");
+  wire::Reader r(data);
+  r.u8();
+  auto rest = r.rest();
+  EXPECT_EQ(rest.size(), 2u);
+  EXPECT_TRUE(r.done());
+}
+
+}  // namespace

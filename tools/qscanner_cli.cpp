@@ -1,0 +1,119 @@
+// qscanner: command-line front end for the stateful scanner, run
+// against a synthetic-internet snapshot. Like the released QScanner it
+// accepts address or address,SNI targets and emits one CSV row per
+// attempt with outcome, version, TLS, transport-parameter and HTTP
+// fields.
+//
+//   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
+//
+// FILE format: one target per line, "address" or "address,sni-domain".
+// --all scans every ZMap-discoverable IPv4 address without SNI.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "internet/internet.h"
+#include "internet/tp_catalog.h"
+#include "scanner/qscanner.h"
+#include "scanner/zmap.h"
+
+namespace {
+
+void print_row(const scanner::QscanResult& result) {
+  const auto& tp = result.report.server_transport_params;
+  std::printf(
+      "%s,%s,%s,%s,%s,%s,%d,%llu,%llu,%s\n",
+      result.target.address.to_string().c_str(),
+      result.target.sni.value_or("").c_str(),
+      scanner::to_string(result.outcome).c_str(),
+      result.outcome == scanner::QscanOutcome::kSuccess
+          ? quic::version_name(result.report.negotiated_version).c_str()
+          : "",
+      result.report.tls.selected_alpn.value_or("").c_str(),
+      result.report.tls.certificate_chain.empty()
+          ? ""
+          : result.report.tls.certificate_chain[0].subject_cn.c_str(),
+      internet::tp_config_id_for_key(tp.config_key()),
+      static_cast<unsigned long long>(tp.initial_max_data.value_or(0)),
+      static_cast<unsigned long long>(tp.effective_max_udp_payload_size()),
+      result.server_header.value_or("").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int week = 18;
+  bool scan_all = false;
+  bool send_http = true;
+  std::string targets_file;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--week" && i + 1 < argc) {
+      week = std::atoi(argv[++i]);
+    } else if (arg == "--all") {
+      scan_all = true;
+    } else if (arg == "--no-http") {
+      send_http = false;
+    } else if (arg == "--targets" && i + 1 < argc) {
+      targets_file = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: qscanner_cli [--week N] [--all | --targets FILE] "
+                   "[--no-http]\n");
+      return 2;
+    }
+  }
+  if (!scan_all && targets_file.empty()) scan_all = true;
+
+  netsim::EventLoop loop;
+  internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
+
+  scanner::QscanOptions options;
+  options.send_http_head = send_http;
+  scanner::QScanner qscanner(internet.network(), options);
+
+  std::vector<scanner::QscanTarget> targets;
+  if (scan_all) {
+    scanner::ZmapQuicScanner zmap(internet.network(), {});
+    for (const auto& hit : zmap.scan(internet.zmap_candidates_v4()))
+      targets.push_back({hit.address, std::nullopt, hit.versions});
+  } else {
+    std::ifstream in(targets_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", targets_file.c_str());
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      size_t comma = line.find(',');
+      auto addr = netsim::IpAddress::parse(
+          comma == std::string::npos ? line : line.substr(0, comma));
+      if (!addr) {
+        std::fprintf(stderr, "skipping malformed target: %s\n", line.c_str());
+        continue;
+      }
+      scanner::QscanTarget target;
+      target.address = *addr;
+      if (comma != std::string::npos) target.sni = line.substr(comma + 1);
+      targets.push_back(std::move(target));
+    }
+  }
+
+  std::printf(
+      "saddr,sni,outcome,version,alpn,cert_cn,tp_config,initial_max_data,"
+      "max_udp_payload,server\n");
+  size_t scanned = 0, success = 0;
+  for (const auto& target : targets) {
+    if (!qscanner.compatible(target)) continue;
+    auto result = qscanner.scan_one(target);
+    print_row(result);
+    ++scanned;
+    if (result.outcome == scanner::QscanOutcome::kSuccess) ++success;
+  }
+  std::fprintf(stderr, "# scanned %zu targets, %zu successful\n", scanned,
+               success);
+  return 0;
+}
