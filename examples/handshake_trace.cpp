@@ -1,31 +1,20 @@
 // Handshake trace: an annotated, Figure-2-style ladder diagram of a
 // real QUIC handshake against a simulated deployment -- including the
 // optional Version Negotiation round the figure shows (the client first
-// offers a version the server does not speak). Packet classification
-// runs on the wire bytes via the netsim tap; nothing is read from
-// connection internals.
+// offers a version the server does not speak). The ladder is rebuilt
+// from the connection's own telemetry trace (src/telemetry/): the same
+// packet_sent / packet_received events qscanner_cli --qlog records,
+// captured here in a MemorySink. The raw JSON-Lines rendering is
+// printed afterwards.
 //
 //   ./build/examples/handshake_trace
 #include <cstdio>
+#include <iostream>
+#include <memory>
 
 #include "internet/internet.h"
-#include "quic/packet.h"
 #include "scanner/qscanner.h"
-
-namespace {
-
-const char* type_name(const quic::DatagramInfo& info) {
-  if (info.long_header && info.version == 0) return "VersionNegotiation";
-  switch (info.type) {
-    case quic::PacketType::kInitial: return "Initial";
-    case quic::PacketType::kHandshake: return "Handshake";
-    case quic::PacketType::kRetry: return "Retry";
-    case quic::PacketType::kOneRtt: return "1-RTT";
-    default: return "?";
-  }
-}
-
-}  // namespace
+#include "telemetry/trace.h"
 
 int main() {
   netsim::EventLoop loop;
@@ -47,41 +36,55 @@ int main() {
   }
   if (!host) return 1;
 
-  std::printf("Scanner                                              %s\n",
-              host->address.to_string().c_str());
-  std::printf("  |                                                    |\n");
-  internet.network().set_tap([&](const netsim::Endpoint& from,
-                                 const netsim::Endpoint& to,
-                                 std::span<const uint8_t> payload) {
-    auto info = quic::peek_datagram(payload);
-    if (!info) return;
-    bool from_client = to.addr == host->address;
-    char line[128];
-    if (info->long_header && info->version == 0) {
-      std::snprintf(line, sizeof line, "VersionNegotiation[%zu B]",
-                    payload.size());
-    } else if (info->long_header) {
-      std::snprintf(line, sizeof line, "%s[%s, %zu B]", type_name(*info),
-                    quic::version_name(info->version).c_str(),
-                    payload.size());
-    } else {
-      std::snprintf(line, sizeof line, "1-RTT[%zu B]", payload.size());
-    }
-    if (from_client)
-      std::printf("  |---- %-42s ---->|\n", line);
-    else
-      std::printf("  |<--- %-42s -----|\n", line);
-    (void)from;
-  });
-
+  // Capture the attempt's qlog events in memory. QScanner asks the
+  // factory for one sink per attempt; hand it a proxy so the events
+  // stay readable after the scan returns.
+  auto trace = std::make_shared<telemetry::MemorySink>();
   scanner::QscanOptions options;
   // Offer v1 first: Fastly only speaks draft-29/27, forcing the
   // optional Version Negotiation round from Figure 2.
   options.supported_versions = {quic::kVersion1, quic::kDraft29};
+  options.trace_factory =
+      [trace](const std::string&) -> std::unique_ptr<telemetry::TraceSink> {
+    struct Proxy : telemetry::TraceSink {
+      std::shared_ptr<telemetry::MemorySink> target;
+      void on_event(const telemetry::TraceEvent& event) override {
+        target->on_event(event);
+      }
+    };
+    auto proxy = std::make_unique<Proxy>();
+    proxy->target = trace;
+    return proxy;
+  };
   scanner::QScanner qscanner(internet.network(), options);
   auto result = qscanner.scan_one({host->address, domain->name,
                                    {quic::kVersion1}});
 
+  std::printf("Scanner                                              %s\n",
+              host->address.to_string().c_str());
+  std::printf("  |                                                    |\n");
+  for (const auto& event : trace->events()) {
+    const telemetry::Value* type = event.find("packet_type");
+    char line[128];
+    if (event.type == telemetry::EventType::kPacketSent && type) {
+      const auto* size = event.find("size");
+      std::snprintf(line, sizeof line, "%s[%llu B]", type->str.c_str(),
+                    static_cast<unsigned long long>(size ? size->num : 0));
+      std::printf("  |---- %-42s ---->|\n", line);
+    } else if (event.type == telemetry::EventType::kPacketReceived && type) {
+      const auto* size = event.find("size");
+      std::snprintf(line, sizeof line, "%s[%llu B]", type->str.c_str(),
+                    static_cast<unsigned long long>(size ? size->num : 0));
+      std::printf("  |<--- %-42s -----|\n", line);
+    } else if (event.type == telemetry::EventType::kVersionNegotiation) {
+      const auto* versions = event.find("server_versions");
+      std::snprintf(line, sizeof line, "  (server speaks: %s)",
+                    versions ? versions->str.c_str() : "?");
+      std::printf("  |     %-42s      |\n", line);
+    } else if (event.type == telemetry::EventType::kRetry) {
+      std::printf("  |     %-42s      |\n", "  (address validation Retry)");
+    }
+  }
   std::printf("  |                                                    |\n");
   std::printf("outcome: %s, version %s, retry=%s, alpn=%s, server='%s'\n",
               scanner::to_string(result.outcome).c_str(),
@@ -89,6 +92,11 @@ int main() {
               result.report.retry_used ? "yes" : "no",
               result.report.tls.selected_alpn.value_or("-").c_str(),
               result.server_header.value_or("-").c_str());
+
+  std::printf("\nThe same trace as qlog JSON-Lines (qscanner_cli --qlog):\n");
+  for (const auto& event : trace->events())
+    telemetry::write_json_line(std::cout, event);
+
   std::printf(
       "\nCompare with the paper's Figure 2: Initial[CRYPTO[CH], PADDING],\n"
       "the optional Version Negotiation, the server's Initial[SH] +\n"

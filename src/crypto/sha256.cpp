@@ -128,7 +128,7 @@ Sha256Digest hmac_sha256(std::span<const uint8_t> key,
   if (key.size() > 64) {
     auto d = Sha256::hash(key);
     std::memcpy(k.data(), d.data(), d.size());
-  } else {
+  } else if (!key.empty()) {  // empty span has a null data() (UB in memcpy)
     std::memcpy(k.data(), key.data(), key.size());
   }
   std::array<uint8_t, 64> ipad, opad;

@@ -2,6 +2,12 @@
 
 namespace netsim {
 
+void EventLoop::set_metrics(telemetry::MetricsRegistry* metrics) {
+  events_fired_ = telemetry::maybe_counter(metrics, "loop.events_fired");
+  events_cancelled_ =
+      telemetry::maybe_counter(metrics, "loop.events_cancelled");
+}
+
 TimerId EventLoop::schedule_at(uint64_t at_us, std::function<void()> fn) {
   if (at_us < now_us_) at_us = now_us_;
   TimerId id = next_id_++;
@@ -15,6 +21,7 @@ void EventLoop::cancel(TimerId id) {
   if (it == id_to_time_.end()) return;
   queue_.erase({it->second, id});
   id_to_time_.erase(it);
+  telemetry::add(events_cancelled_);
 }
 
 void EventLoop::run() { run_until(UINT64_MAX); }
@@ -30,6 +37,7 @@ void EventLoop::run_until(uint64_t limit_us) {
     now_us_ = it->first.first;
     id_to_time_.erase(it->first.second);
     queue_.erase(it);
+    telemetry::add(events_fired_);
     fn();
   }
   // Queue drained before the limit: virtual time still advances to the

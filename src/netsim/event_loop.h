@@ -2,7 +2,8 @@
 // timing in the repository -- probe pacing, handshake round trips,
 // timeouts (34.5 % of the paper's no-SNI IPv4 attempts!) -- runs on
 // virtual microseconds, so results are bit-reproducible and wall-clock
-// independent.
+// independent. The loop doubles as the telemetry clock: every trace
+// event is stamped with this virtual time, never wall time.
 #pragma once
 
 #include <cstdint>
@@ -10,13 +11,20 @@
 #include <map>
 #include <utility>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace netsim {
 
 using TimerId = uint64_t;
 
-class EventLoop {
+class EventLoop : public telemetry::Clock {
  public:
-  uint64_t now_us() const { return now_us_; }
+  uint64_t now_us() const override { return now_us_; }
+
+  /// Attaches scheduler accounting (events fired / cancelled); pass
+  /// nullptr to detach. Unattached, the per-event cost is a null check.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
 
   /// Schedules `fn` to run at absolute virtual time `at_us` (clamped to
   /// now). Returns an id usable with cancel().
@@ -43,6 +51,8 @@ class EventLoop {
   std::map<TimerId, uint64_t> id_to_time_;
   uint64_t now_us_ = 0;
   TimerId next_id_ = 1;
+  telemetry::Counter* events_fired_ = nullptr;
+  telemetry::Counter* events_cancelled_ = nullptr;
 };
 
 }  // namespace netsim

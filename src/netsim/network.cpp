@@ -9,6 +9,17 @@ namespace netsim {
 Network::Network(EventLoop& loop, uint64_t loss_seed)
     : loop_(loop), loss_state_(loss_seed) {}
 
+void Network::set_metrics(telemetry::MetricsRegistry* metrics) {
+  metric_datagrams_ = telemetry::maybe_counter(metrics, "net.datagrams_sent");
+  metric_bytes_ = telemetry::maybe_counter(metrics, "net.bytes_sent");
+  metric_dropped_silent_ =
+      telemetry::maybe_counter(metrics, "net.dropped_silent");
+  metric_dropped_loss_ = telemetry::maybe_counter(metrics, "net.dropped_loss");
+  metric_dropped_unrouted_ =
+      telemetry::maybe_counter(metrics, "net.dropped_unrouted");
+  metric_delivered_ = telemetry::maybe_counter(metrics, "net.delivered");
+}
+
 void Network::add_udp_service(const Endpoint& at, UdpService* service) {
   udp_services_[at] = service;
 }
@@ -61,13 +72,21 @@ void Network::send_datagram(const Endpoint& from, const Endpoint& to,
                             std::vector<uint8_t> payload) {
   ++datagrams_sent_;
   bytes_sent_ += payload.size();
+  telemetry::add(metric_datagrams_);
+  telemetry::add(metric_bytes_, payload.size());
   if (tap_) tap_(from, to, payload);
   const auto& props = link(to.addr);
-  if (props.silent) return;
+  if (props.silent) {
+    telemetry::add(metric_dropped_silent_);
+    return;
+  }
   if (props.loss > 0) {
     double draw = static_cast<double>(crypto::splitmix64(loss_state_) >> 11) *
                   0x1.0p-53;
-    if (draw < props.loss) return;
+    if (draw < props.loss) {
+      telemetry::add(metric_dropped_loss_);
+      return;
+    }
   }
   loop_.schedule_in(
       props.latency_us,
@@ -79,18 +98,22 @@ void Network::send_datagram(const Endpoint& from, const Endpoint& to,
 void Network::deliver(const Endpoint& from, const Endpoint& to,
                       std::vector<uint8_t> payload) {
   if (auto it = udp_sockets_.find(to); it != udp_sockets_.end()) {
+    telemetry::add(metric_delivered_);
     it->second->on_datagram(from, payload);
     return;
   }
   if (auto it = udp_services_.find(to); it != udp_services_.end()) {
+    telemetry::add(metric_delivered_);
     auto transmit = [this, to](const Endpoint& dest,
                                std::vector<uint8_t> data) {
       send_datagram(to, dest, std::move(data));
     };
     it->second->on_datagram(from, payload, transmit);
+    return;
   }
   // No listener: datagram silently dropped, as on the real Internet
   // (ICMP unreachable is not modeled; scanners classify by timeout).
+  telemetry::add(metric_dropped_unrouted_);
 }
 
 UdpSocket::UdpSocket(Network& net, const Endpoint& local)

@@ -108,6 +108,11 @@ class Network {
   uint64_t datagrams_sent() const { return datagrams_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
 
+  /// Attaches fabric accounting (datagrams routed, bytes, drop causes)
+  /// to a metrics registry; pass nullptr to detach. Unattached, each
+  /// datagram costs a handful of null checks.
+  void set_metrics(telemetry::MetricsRegistry* metrics);
+
  private:
   friend class UdpSocket;
   void deliver(const Endpoint& from, const Endpoint& to,
@@ -123,6 +128,12 @@ class Network {
   uint64_t loss_state_;
   uint64_t datagrams_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  telemetry::Counter* metric_datagrams_ = nullptr;
+  telemetry::Counter* metric_bytes_ = nullptr;
+  telemetry::Counter* metric_dropped_silent_ = nullptr;
+  telemetry::Counter* metric_dropped_loss_ = nullptr;
+  telemetry::Counter* metric_dropped_unrouted_ = nullptr;
+  telemetry::Counter* metric_delivered_ = nullptr;
 };
 
 /// Client-side datagram socket with an async receive callback.

@@ -51,6 +51,51 @@ const tls::TransportParametersExtension* find_tp_ext(
   return tls::find_transport_params(exts);
 }
 
+/// --- telemetry helpers ----------------------------------------------
+
+const char* packet_type_name(PacketType type) {
+  switch (type) {
+    case PacketType::kInitial: return "initial";
+    case PacketType::kZeroRtt: return "0rtt";
+    case PacketType::kHandshake: return "handshake";
+    case PacketType::kRetry: return "retry";
+    case PacketType::kOneRtt: return "1rtt";
+    case PacketType::kVersionNegotiation: return "version_negotiation";
+  }
+  return "?";
+}
+
+const char* frame_name(const Frame& frame) {
+  if (std::holds_alternative<PaddingFrame>(frame)) return "padding";
+  if (std::holds_alternative<PingFrame>(frame)) return "ping";
+  if (std::holds_alternative<AckFrame>(frame)) return "ack";
+  if (std::holds_alternative<CryptoFrame>(frame)) return "crypto";
+  if (std::holds_alternative<StreamFrame>(frame)) return "stream";
+  if (std::holds_alternative<ConnectionCloseFrame>(frame))
+    return "connection_close";
+  if (std::holds_alternative<HandshakeDoneFrame>(frame))
+    return "handshake_done";
+  return "?";
+}
+
+std::string versions_to_string(const std::vector<Version>& versions) {
+  std::string out;
+  for (Version v : versions) {
+    if (!out.empty()) out += ' ';
+    out += version_name(v);
+  }
+  return out;
+}
+
+/// One frame_processed event per frame of a just-decoded packet.
+void trace_frames(const telemetry::Tracer& tracer, const char* level,
+                  const std::vector<Frame>& frames) {
+  if (!tracer.active()) return;
+  for (const auto& frame : frames)
+    tracer.emit(telemetry::EventType::kFrameProcessed,
+                {{"level", level}, {"frame_type", frame_name(frame)}});
+}
+
 }  // namespace
 
 std::string to_string(ConnectResult result) {
@@ -148,16 +193,37 @@ void ClientConnection::send_initial_flight() {
       retry_token_.size();
   packet.payload =
       pad_initial_payload(std::move(frames), overhead, kMinInitialDatagramSize);
+  if (config_.tracer.active()) {
+    config_.tracer.emit(
+        telemetry::EventType::kTlsMessage,
+        {{"message", "client_hello"},
+         {"size", static_cast<uint64_t>(client_hello_bytes_.size())}});
+    config_.tracer.emit(telemetry::EventType::kKeyUpdate,
+                        {{"level", "initial"}});
+  }
   // State must advance before send_: over a zero-latency loopback the
   // reply can arrive nested inside the send callback.
   state_ = State::kAwaitServerHello;
   last_initial_datagram_ = initial_tx_->protect(packet);
+  if (config_.tracer.active())
+    config_.tracer.emit(
+        telemetry::EventType::kPacketSent,
+        {{"packet_type", "initial"},
+         {"packet_number", packet.packet_number},
+         {"version", version_name(config_.version)},
+         {"size", static_cast<uint64_t>(last_initial_datagram_.size())}});
   send_(last_initial_datagram_);
 }
 
 void ClientConnection::retransmit_initial() {
   if (state_ != State::kAwaitServerHello || last_initial_datagram_.empty())
     return;
+  if (config_.tracer.active())
+    config_.tracer.emit(
+        telemetry::EventType::kPacketSent,
+        {{"packet_type", "initial"},
+         {"retransmission", true},
+         {"size", static_cast<uint64_t>(last_initial_datagram_.size())}});
   send_(last_initial_datagram_);
 }
 
@@ -166,12 +232,22 @@ void ClientConnection::finish(ConnectResult result) {
   state_ = State::kDone;
   report_.result = result;
   report_.negotiated_version = config_.version;
+  if (config_.tracer.active())
+    config_.tracer.emit(telemetry::EventType::kConnectionClosed,
+                        {{"result", to_string(result)},
+                         {"error_code", report_.close_error_code},
+                         {"reason", report_.close_reason}});
   if (done_) done_(report_);
 }
 
 void ClientConnection::process_version_negotiation(
     const VersionNegotiationPacket& vn) {
   report_.peer_versions = vn.supported_versions;
+  if (config_.tracer.active())
+    config_.tracer.emit(
+        telemetry::EventType::kVersionNegotiation,
+        {{"offered", version_name(config_.version)},
+         {"server_versions", versions_to_string(vn.supported_versions)}});
   // A usable alternative is a compatible version the server claims to
   // support, different from the one just rejected.
   if (report_.version_retries == 0) {
@@ -194,6 +270,11 @@ void ClientConnection::on_datagram(std::span<const uint8_t> datagram) {
   auto info = peek_datagram(datagram);
   if (!info) return;
   if (info->long_header && info->version == 0) {
+    if (config_.tracer.active())
+      config_.tracer.emit(
+          telemetry::EventType::kPacketReceived,
+          {{"packet_type", "version_negotiation"},
+           {"size", static_cast<uint64_t>(datagram.size())}});
     if (auto vn = decode_version_negotiation(datagram))
       process_version_negotiation(*vn);
     return;
@@ -204,6 +285,15 @@ void ClientConnection::on_datagram(std::span<const uint8_t> datagram) {
     if (report_.retry_used) return;
     auto retry = decode_retry(datagram, dcid_);
     if (!retry || retry->scid.empty() || retry->token.empty()) return;
+    if (config_.tracer.active()) {
+      config_.tracer.emit(
+          telemetry::EventType::kPacketReceived,
+          {{"packet_type", "retry"},
+           {"size", static_cast<uint64_t>(datagram.size())}});
+      config_.tracer.emit(
+          telemetry::EventType::kRetry,
+          {{"token_size", static_cast<uint64_t>(retry->token.size())}});
+    }
     report_.retry_used = true;
     retry_dcid_ = retry->scid;
     retry_token_ = retry->token;
@@ -211,22 +301,39 @@ void ClientConnection::on_datagram(std::span<const uint8_t> datagram) {
     return;
   }
 
+  auto trace_received = [this](const Packet& packet, size_t consumed) {
+    if (config_.tracer.active())
+      config_.tracer.emit(telemetry::EventType::kPacketReceived,
+                          {{"packet_type", packet_type_name(packet.type)},
+                           {"packet_number", packet.packet_number},
+                           {"size", static_cast<uint64_t>(consumed)}});
+  };
   size_t offset = 0;
   while (offset < datagram.size() && state_ != State::kDone) {
     auto piece = peek_datagram(datagram.subspan(offset));
     if (!piece) return;
+    size_t piece_start = offset;
     std::optional<Packet> packet;
     if (piece->long_header && piece->type == PacketType::kInitial &&
         initial_rx_) {
       packet = initial_rx_->unprotect(datagram, offset);
-      if (packet && !process_initial(*packet)) return;
+      if (packet) {
+        trace_received(*packet, offset - piece_start);
+        if (!process_initial(*packet)) return;
+      }
     } else if (piece->long_header && piece->type == PacketType::kHandshake &&
                handshake_rx_) {
       packet = handshake_rx_->unprotect(datagram, offset);
-      if (packet && !process_handshake(*packet)) return;
+      if (packet) {
+        trace_received(*packet, offset - piece_start);
+        if (!process_handshake(*packet)) return;
+      }
     } else if (!piece->long_header && app_rx_) {
       packet = app_rx_->unprotect(datagram, offset);
-      if (packet) process_one_rtt(*packet);
+      if (packet) {
+        trace_received(*packet, offset - piece_start);
+        process_one_rtt(*packet);
+      }
     }
     if (!packet) return;  // undecryptable; drop the rest of the datagram
   }
@@ -240,6 +347,7 @@ bool ClientConnection::process_initial(const Packet& packet) {
     finish(ConnectResult::kInternalError);
     return false;
   }
+  trace_frames(config_.tracer, "initial", frames);
   if (const auto* close = find_close(frames)) {
     report_.close_error_code = close->error_code;
     report_.close_reason = close->reason_phrase;
@@ -264,6 +372,11 @@ bool ClientConnection::process_initial(const Packet& packet) {
     finish(ConnectResult::kInternalError);
     return false;
   }
+  if (config_.tracer.active())
+    config_.tracer.emit(
+        telemetry::EventType::kTlsMessage,
+        {{"message", "server_hello"},
+         {"size", static_cast<uint64_t>(crypto_frame->data.size())}});
   key_schedule_.add_message(crypto_frame->data);
 
   report_.tls.negotiated_version = sh->negotiated_version();
@@ -284,6 +397,8 @@ bool ClientConnection::process_initial(const Packet& packet) {
       key_schedule_.client_handshake_secret(), tls::KeyUsage::kQuic));
   handshake_rx_ = PacketProtector(tls::derive_traffic_keys(
       key_schedule_.server_handshake_secret(), tls::KeyUsage::kQuic));
+  config_.tracer.emit(telemetry::EventType::kKeyUpdate,
+                      {{"level", "handshake"}});
   state_ = State::kAwaitServerFinished;
   return true;
 }
@@ -297,6 +412,7 @@ bool ClientConnection::process_handshake(const Packet& packet) {
     finish(ConnectResult::kInternalError);
     return false;
   }
+  trace_frames(config_.tracer, "handshake", frames);
   if (const auto* close = find_close(frames)) {
     report_.close_error_code = close->error_code;
     report_.close_reason = close->reason_phrase;
@@ -334,6 +450,20 @@ bool ClientConnection::process_handshake(const Packet& packet) {
     size_t len = raw.position() - before;
     std::span<const uint8_t> encoded{handshake_crypto_buffer_.data() + before,
                                      len};
+    if (config_.tracer.active()) {
+      const char* name = "?";
+      if (std::holds_alternative<tls::EncryptedExtensions>(m))
+        name = "encrypted_extensions";
+      else if (std::holds_alternative<tls::CertificateMessage>(m))
+        name = "certificate";
+      else if (std::holds_alternative<tls::CertificateVerify>(m))
+        name = "certificate_verify";
+      else if (std::holds_alternative<tls::Finished>(m))
+        name = "finished";
+      config_.tracer.emit(telemetry::EventType::kTlsMessage,
+                          {{"message", name},
+                           {"size", static_cast<uint64_t>(len)}});
+    }
     if (const auto* ee = std::get_if<tls::EncryptedExtensions>(&m)) {
       if (const auto* tp = find_tp_ext(ee->extensions)) {
         try {
@@ -342,6 +472,15 @@ bool ClientConnection::process_handshake(const Packet& packet) {
         } catch (const wire::DecodeError&) {
           finish(ConnectResult::kInternalError);
           return false;
+        }
+        if (config_.tracer.active()) {
+          const auto& params = report_.server_transport_params;
+          config_.tracer.emit(
+              telemetry::EventType::kTransportParamsSet,
+              {{"owner", "remote"},
+               {"initial_max_data", params.initial_max_data.value_or(0)},
+               {"max_udp_payload_size",
+                params.effective_max_udp_payload_size()}});
         }
         // Downgrade protection (RFC 9368 section 4): the authenticated
         // chosen version must match the version actually in use.
@@ -381,6 +520,8 @@ bool ClientConnection::process_handshake(const Packet& packet) {
       key_schedule_.client_application_secret(), tls::KeyUsage::kQuic));
   app_rx_ = PacketProtector(tls::derive_traffic_keys(
       key_schedule_.server_application_secret(), tls::KeyUsage::kQuic));
+  config_.tracer.emit(telemetry::EventType::kKeyUpdate,
+                      {{"level", "application"}});
 
   // Client flight: Initial ACK + Handshake Finished.
   {
@@ -406,6 +547,21 @@ bool ClientConnection::process_handshake(const Packet& packet) {
         {CryptoFrame{0, tls::encode_handshake(fin)}, AckFrame{0, 0, 0, {}}});
     auto hs_bytes = handshake_tx_->protect(hs_packet);
     datagram.insert(datagram.end(), hs_bytes.begin(), hs_bytes.end());
+    if (config_.tracer.active()) {
+      config_.tracer.emit(telemetry::EventType::kTlsMessage,
+                          {{"message", "finished"}, {"sent", true}});
+      config_.tracer.emit(
+          telemetry::EventType::kPacketSent,
+          {{"packet_type", "initial"},
+           {"packet_number", ack_packet.packet_number},
+           {"size", static_cast<uint64_t>(datagram.size() -
+                                          hs_bytes.size())}});
+      config_.tracer.emit(
+          telemetry::EventType::kPacketSent,
+          {{"packet_type", "handshake"},
+           {"packet_number", hs_packet.packet_number},
+           {"size", static_cast<uint64_t>(hs_bytes.size())}});
+    }
 
     if (config_.http_request) {
       Packet req;
@@ -419,6 +575,12 @@ bool ClientConnection::process_handshake(const Packet& packet) {
                          config_.http_request->end());
       req.payload = encode_frames({std::move(stream)});
       auto req_bytes = app_tx_->protect(req);
+      if (config_.tracer.active())
+        config_.tracer.emit(
+            telemetry::EventType::kPacketSent,
+            {{"packet_type", "1rtt"},
+             {"packet_number", req.packet_number},
+             {"size", static_cast<uint64_t>(req_bytes.size())}});
       datagram.insert(datagram.end(), req_bytes.begin(), req_bytes.end());
     }
     state_ = State::kAwaitHttpResponse;  // before send_: reply may nest
@@ -435,6 +597,7 @@ void ClientConnection::process_one_rtt(const Packet& packet) {
     finish(ConnectResult::kInternalError);
     return;
   }
+  trace_frames(config_.tracer, "1rtt", frames);
   if (const auto* close = find_close(frames)) {
     report_.close_error_code = close->error_code;
     report_.close_reason = close->reason_phrase;
@@ -459,8 +622,12 @@ void ClientConnection::process_one_rtt(const Packet& packet) {
 /// --- ServerConnection ------------------------------------------------
 
 ServerConnection::ServerConnection(const DeploymentBehavior& behavior,
-                                   crypto::Rng rng, SendFn send)
-    : behavior_(behavior), rng_(std::move(rng)), send_(std::move(send)) {}
+                                   crypto::Rng rng, SendFn send,
+                                   telemetry::Tracer tracer)
+    : behavior_(behavior),
+      rng_(std::move(rng)),
+      send_(std::move(send)),
+      tracer_(tracer) {}
 
 void ServerConnection::respond_version_negotiation(const DatagramInfo& info) {
   if (!behavior_.respond_to_version_negotiation) return;
@@ -468,12 +635,20 @@ void ServerConnection::respond_version_negotiation(const DatagramInfo& info) {
   vn.dcid = info.scid;  // swap roles
   vn.scid = info.dcid;
   vn.supported_versions = behavior_.advertised_versions;
+  if (tracer_.active())
+    tracer_.emit(telemetry::EventType::kVersionNegotiation,
+                 {{"offered", version_name(info.version)},
+                  {"advertised",
+                   versions_to_string(behavior_.advertised_versions)}});
   send_(encode_version_negotiation(vn, static_cast<uint8_t>(rng_.next())));
   state_ = State::kClosed;
 }
 
 void ServerConnection::send_close(uint64_t error_code,
                                   const std::string& reason) {
+  if (tracer_.active())
+    tracer_.emit(telemetry::EventType::kConnectionClosed,
+                 {{"error_code", error_code}, {"reason", reason}});
   if (initial_tx_) {
     Packet packet;
     packet.type = PacketType::kInitial;
@@ -556,6 +731,10 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
         retry.token.push_back('t');
         retry.token.insert(retry.token.end(), client_dcid_.begin(),
                            client_dcid_.end());
+        if (tracer_.active())
+          tracer_.emit(
+              telemetry::EventType::kRetry,
+              {{"token_size", static_cast<uint64_t>(retry.token.size())}});
         send_(encode_retry(retry, client_dcid_));
         state_ = State::kClosed;  // stateless: next Initial = new session
         return;
@@ -627,6 +806,11 @@ void ServerConnection::process_client_initial(const Packet& packet) {
     send_close(kProtocolViolation, "expected ClientHello");
     return;
   }
+  if (tracer_.active())
+    tracer_.emit(
+        telemetry::EventType::kTlsMessage,
+        {{"message", "client_hello"},
+         {"size", static_cast<uint64_t>(crypto_frame->data.size())}});
   key_schedule_.add_message(crypto_frame->data);
   scid_ = rng_.bytes(8);
 
@@ -783,6 +967,20 @@ void ServerConnection::process_client_initial(const Packet& packet) {
   hs.payload = encode_frames({CryptoFrame{0, std::move(flight)}});
   auto hs_bytes_out = handshake_tx_->protect(hs);
   datagram.insert(datagram.end(), hs_bytes_out.begin(), hs_bytes_out.end());
+  if (tracer_.active()) {
+    tracer_.emit(telemetry::EventType::kKeyUpdate,
+                 {{"level", "application"}});
+    tracer_.emit(
+        telemetry::EventType::kPacketSent,
+        {{"packet_type", "initial"},
+         {"packet_number", init.packet_number},
+         {"size",
+          static_cast<uint64_t>(datagram.size() - hs_bytes_out.size())}});
+    tracer_.emit(telemetry::EventType::kPacketSent,
+                 {{"packet_type", "handshake"},
+                  {"packet_number", hs.packet_number},
+                  {"size", static_cast<uint64_t>(hs_bytes_out.size())}});
+  }
   state_ = State::kAwaitFinished;  // before send_: reply may nest
   last_flight_ = datagram;
   send_(std::move(datagram));

@@ -19,6 +19,7 @@
 #include "quic/packet.h"
 #include "quic/transport_params.h"
 #include "quic/version.h"
+#include "telemetry/trace.h"
 #include "tls/handshake.h"
 #include "tls/key_schedule.h"
 
@@ -49,6 +50,9 @@ struct ClientConfig {
   /// When set, an HTTP/3-lite request is sent after the handshake and
   /// the connection completes on the response.
   std::optional<std::string> http_request;
+  /// qlog-style event emission; default-constructed tracers are
+  /// inactive and cost one branch per would-be event.
+  telemetry::Tracer tracer;
 };
 
 /// Everything QScanner records about one attempt.
@@ -183,7 +187,7 @@ class ServerConnection {
   using SendFn = std::function<void(std::vector<uint8_t> datagram)>;
 
   ServerConnection(const DeploymentBehavior& behavior, crypto::Rng rng,
-                   SendFn send);
+                   SendFn send, telemetry::Tracer tracer = {});
 
   /// Feeds one client datagram; returns false once the connection is
   /// dead (caller may drop it).
@@ -201,6 +205,7 @@ class ServerConnection {
   const DeploymentBehavior& behavior_;
   crypto::Rng rng_;
   SendFn send_;
+  telemetry::Tracer tracer_;
 
   ConnectionId client_dcid_;  // original, for initial keys
   ConnectionId client_scid_;

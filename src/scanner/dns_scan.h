@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "dns/resolver.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace scanner {
 
@@ -31,7 +33,11 @@ struct DnsListScan {
 
 class DnsScanner {
  public:
-  explicit DnsScanner(const dns::ZoneStore& zones) : zones_(zones) {}
+  /// Telemetry is optional: a null registry / inactive tracer reduces
+  /// every hook to a single pointer check.
+  explicit DnsScanner(const dns::ZoneStore& zones,
+                      telemetry::MetricsRegistry* metrics = nullptr,
+                      telemetry::Tracer tracer = {});
 
   DnsListScan scan_list(const std::string& list_name,
                         std::span<const std::string> domains);
@@ -41,6 +47,12 @@ class DnsScanner {
  private:
   const dns::ZoneStore& zones_;
   uint64_t queries_sent_ = 0;
+  telemetry::Tracer tracer_;
+  telemetry::Counter* metric_domains_ = nullptr;
+  telemetry::Counter* metric_queries_ = nullptr;
+  telemetry::Counter* metric_https_rr_ = nullptr;
+  telemetry::Counter* metric_a_ = nullptr;
+  telemetry::Counter* metric_aaaa_ = nullptr;
 };
 
 }  // namespace scanner

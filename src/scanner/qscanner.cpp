@@ -21,7 +21,23 @@ std::string to_string(QscanOutcome outcome) {
 }
 
 QScanner::QScanner(netsim::Network& network, QscanOptions options)
-    : network_(network), options_(std::move(options)) {}
+    : network_(network), options_(std::move(options)) {
+  auto* metrics = options_.metrics;
+  metric_attempts_ = telemetry::maybe_counter(metrics, "qscan.attempts");
+  for (int i = 0; i < 5; ++i)
+    metric_outcomes_[i] = telemetry::maybe_counter(
+        metrics, "qscan.outcome." + to_string(static_cast<QscanOutcome>(i)));
+  // Bucket bounds follow the sim's RTT scale: the fastest handshakes
+  // complete in one ~20ms round trip, timeouts sit at 3s.
+  metric_handshake_rtt_ = telemetry::maybe_histogram(
+      metrics, "qscan.handshake_rtt_us",
+      {25'000, 50'000, 100'000, 250'000, 500'000, 1'000'000, 3'000'000});
+  metric_packets_per_attempt_ = telemetry::maybe_histogram(
+      metrics, "qscan.packets_per_attempt", {2, 4, 6, 8, 12, 16, 32});
+  metric_bytes_per_attempt_ = telemetry::maybe_histogram(
+      metrics, "qscan.bytes_per_attempt",
+      {1'500, 3'000, 6'000, 12'000, 24'000, 48'000});
+}
 
 bool QScanner::compatible(const QscanTarget& target) const {
   if (target.version_hint.empty()) return true;  // no knowledge: try anyway
@@ -42,6 +58,7 @@ quic::Version QScanner::pick_version(const QscanTarget& target) const {
 
 QscanResult QScanner::scan_one(const QscanTarget& target) {
   ++attempts_;
+  telemetry::add(metric_attempts_);
   // Ephemeral ports and connection entropy are drawn from a
   // process-wide counter, like an OS port allocator: two scanner
   // instances must never reuse a (port, connection-ID) pair, or a
@@ -57,6 +74,22 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
       target.address.is_v4() ? options_.source_v4 : options_.source_v6;
   uint16_t port = static_cast<uint16_t>(20000 + attempt % 40000);
   auto socket = network_.open_udp({source, port});
+
+  // One qlog trace per attempt, labeled by scan ordinal and target so
+  // repeat runs with the same seed produce identical file sets.
+  std::unique_ptr<telemetry::TraceSink> trace_sink;
+  if (options_.trace_factory) {
+    std::string label = "attempt" + std::to_string(attempts_) + "_" +
+                        target.address.to_string();
+    if (target.sni) label += "_" + *target.sni;
+    trace_sink = options_.trace_factory(label);
+  }
+  telemetry::Tracer tracer(trace_sink.get(), &loop,
+                           telemetry::Vantage::kClient);
+
+  const uint64_t start_us = loop.now_us();
+  const uint64_t start_datagrams = network_.datagrams_sent();
+  const uint64_t start_bytes = network_.bytes_sent();
 
   quic::ClientConfig config;
   config.version = pick_version(target);
@@ -78,12 +111,16 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
   }
 
   netsim::Endpoint server{target.address, 443};
+  config.tracer = tracer;
+  uint64_t finish_us = 0;
   quic::ClientConnection connection(
       config, crypto::Rng(options_.seed ^ attempt * 0x9e3779b97f4a7c15ull),
       [&](std::vector<uint8_t> datagram) {
         socket->send(server, std::move(datagram));
       },
-      nullptr);
+      [&loop, &finish_us](const quic::ClientReport&) {
+        finish_us = loop.now_us();
+      });
   socket->set_receiver(
       [&](const netsim::Endpoint&, std::span<const uint8_t> data) {
         connection.on_datagram(data);
@@ -94,15 +131,26 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
   quic::RttEstimator rtt;
   uint64_t pto = rtt.pto_us();
   uint64_t next_probe = loop.now_us() + pto;
+  std::vector<netsim::TimerId> probe_timers;
   for (int probe = 0; probe < options_.max_retransmits; ++probe) {
-    loop.schedule_at(next_probe, [&connection] {
+    probe_timers.push_back(loop.schedule_at(next_probe, [&connection] {
       if (!connection.finished()) connection.retransmit_initial();
-    });
+    }));
     pto *= 2;
     next_probe += pto;
   }
   loop.run_until(loop.now_us() + options_.handshake_timeout_us);
+  // A probe landing exactly on the deadline stays queued past
+  // run_until; cancel the stragglers before `connection` goes out of
+  // scope or they would fire into a dead frame during a later scan.
+  for (netsim::TimerId id : probe_timers) loop.cancel(id);
   result.report = connection.report();
+
+  if (!connection.finished() && tracer.active()) {
+    tracer.emit(telemetry::EventType::kTimeout,
+                {{"elapsed_us", loop.now_us() - start_us},
+                 {"retransmits", options_.max_retransmits}});
+  }
 
   switch (result.report.result) {
     case quic::ConnectResult::kSuccess:
@@ -139,6 +187,14 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
       result.server_header = response->headers.get("server");
     }
   }
+
+  telemetry::add(metric_outcomes_[static_cast<int>(result.outcome)]);
+  if (result.outcome == QscanOutcome::kSuccess)
+    telemetry::observe(metric_handshake_rtt_, finish_us - start_us);
+  telemetry::observe(metric_packets_per_attempt_,
+                     network_.datagrams_sent() - start_datagrams);
+  telemetry::observe(metric_bytes_per_attempt_,
+                     network_.bytes_sent() - start_bytes);
   return result;
 }
 

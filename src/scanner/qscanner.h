@@ -14,6 +14,8 @@
 #include "netsim/network.h"
 #include "quic/connection.h"
 #include "scanner/ethics.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace scanner {
 
@@ -60,6 +62,12 @@ struct QscanOptions {
   netsim::IpAddress source_v6 =
       netsim::IpAddress::v6(0x20010db800005ca0ull, 2);
   uint64_t seed = 0x5ca9;
+  /// Optional telemetry: counters/histograms are registered at
+  /// construction; when null every hot-path hook is one pointer check.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Produces one TraceSink per attempt (e.g. telemetry::QlogDir); an
+  /// empty factory disables tracing entirely.
+  telemetry::TraceSinkFactory trace_factory;
 };
 
 class QScanner {
@@ -81,6 +89,13 @@ class QScanner {
   netsim::Network& network_;
   QscanOptions options_;
   uint64_t attempts_ = 0;
+
+  telemetry::Counter* metric_attempts_ = nullptr;
+  /// Indexed by QscanOutcome; "qscan.outcome.<name>" counters.
+  telemetry::Counter* metric_outcomes_[5] = {};
+  telemetry::Histogram* metric_handshake_rtt_ = nullptr;
+  telemetry::Histogram* metric_packets_per_attempt_ = nullptr;
+  telemetry::Histogram* metric_bytes_per_attempt_ = nullptr;
 };
 
 }  // namespace scanner

@@ -5,7 +5,16 @@
 namespace scanner {
 
 TcpTlsScanner::TcpTlsScanner(netsim::Network& network, TcpTlsOptions options)
-    : network_(network), options_(std::move(options)) {}
+    : network_(network), options_(std::move(options)) {
+  auto* metrics = options_.metrics;
+  metric_attempts_ = telemetry::maybe_counter(metrics, "tcp.attempts");
+  metric_port_open_ = telemetry::maybe_counter(metrics, "tcp.port_open");
+  metric_handshake_ok_ =
+      telemetry::maybe_counter(metrics, "tcp.handshake_ok");
+  metric_alerts_ = telemetry::maybe_counter(metrics, "tcp.alerts");
+  metric_http_ok_ = telemetry::maybe_counter(metrics, "tcp.http_ok");
+  metric_alt_svc_ = telemetry::maybe_counter(metrics, "tcp.alt_svc_seen");
+}
 
 std::vector<netsim::IpAddress> TcpTlsScanner::syn_scan(
     std::span<const netsim::IpAddress> targets) {
@@ -17,15 +26,38 @@ std::vector<netsim::IpAddress> TcpTlsScanner::syn_scan(
 
 TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
   ++attempts_;
+  telemetry::add(metric_attempts_);
   TcpTlsResult result;
   result.target = target;
   const auto& source =
       target.address.is_v4() ? options_.source_v4 : options_.source_v6;
   uint16_t port = static_cast<uint16_t>(30000 + attempts_ % 30000);
+
+  std::unique_ptr<telemetry::TraceSink> trace_sink;
+  if (options_.trace_factory) {
+    std::string label = "tcp_attempt" + std::to_string(attempts_) + "_" +
+                        target.address.to_string();
+    if (target.sni) label += "_" + *target.sni;
+    trace_sink = options_.trace_factory(label);
+  }
+  telemetry::Tracer tracer(trace_sink.get(), &network_.loop(),
+                           telemetry::Vantage::kClient);
+
   auto connection =
       network_.tcp_connect({source, port}, {target.address, 443});
-  if (!connection) return result;
+  if (!connection) {
+    if (tracer.active())
+      tracer.emit(telemetry::EventType::kConnectionClosed,
+                  {{"result", "port_closed"}});
+    return result;
+  }
   result.port_open = true;
+  telemetry::add(metric_port_open_);
+  if (tracer.active())
+    tracer.emit(telemetry::EventType::kTlsMessage,
+                {{"message", "client_hello"},
+                 {"sni", target.sni.value_or("")},
+                 {"sent", true}});
 
   tls::TlsClient client(
       crypto::Rng(options_.seed ^ attempts_ * 0x9e3779b97f4a7c15ull),
@@ -42,6 +74,8 @@ TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
   result.handshake_ok = outcome.handshake_ok;
   result.alert = outcome.alert;
   result.details = std::move(outcome.details);
+  if (result.handshake_ok) telemetry::add(metric_handshake_ok_);
+  if (result.alert) telemetry::add(metric_alerts_);
   if (outcome.http_response) {
     if (auto response = http::Response::parse(*outcome.http_response)) {
       result.http_ok = response->status >= 200 && response->status < 400;
@@ -51,6 +85,19 @@ TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
           result.alt_svc = std::move(*entries);
       }
     }
+  }
+  if (result.http_ok) telemetry::add(metric_http_ok_);
+  if (!result.alt_svc.empty()) telemetry::add(metric_alt_svc_);
+  if (tracer.active()) {
+    if (result.handshake_ok)
+      tracer.emit(telemetry::EventType::kTlsMessage,
+                  {{"message", "finished"}, {"sent", false}});
+    tracer.emit(
+        telemetry::EventType::kConnectionClosed,
+        {{"result", result.handshake_ok ? "success" : "handshake_failure"},
+         {"error_code",
+          result.alert ? static_cast<uint64_t>(*result.alert) : 0},
+         {"http_ok", result.http_ok}});
   }
   return result;
 }

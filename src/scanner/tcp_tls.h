@@ -13,6 +13,8 @@
 #include "http/alt_svc.h"
 #include "http/headers.h"
 #include "netsim/network.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "tls/endpoint.h"
 
 namespace scanner {
@@ -40,6 +42,9 @@ struct TcpTlsOptions {
       netsim::IpAddress::v6(0x20010db800005ca0ull, 3);
   uint64_t seed = 0x7c9;
   bool send_http = true;
+  /// Optional telemetry; null/empty disables with one check per hook.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceSinkFactory trace_factory;
 };
 
 class TcpTlsScanner {
@@ -57,6 +62,12 @@ class TcpTlsScanner {
   netsim::Network& network_;
   TcpTlsOptions options_;
   uint64_t attempts_ = 0;
+  telemetry::Counter* metric_attempts_ = nullptr;
+  telemetry::Counter* metric_port_open_ = nullptr;
+  telemetry::Counter* metric_handshake_ok_ = nullptr;
+  telemetry::Counter* metric_alerts_ = nullptr;
+  telemetry::Counter* metric_http_ok_ = nullptr;
+  telemetry::Counter* metric_alt_svc_ = nullptr;
 };
 
 }  // namespace scanner

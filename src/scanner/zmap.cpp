@@ -8,7 +8,14 @@
 namespace scanner {
 
 ZmapQuicScanner::ZmapQuicScanner(netsim::Network& network, ZmapOptions options)
-    : network_(network), options_(std::move(options)) {}
+    : network_(network), options_(std::move(options)) {
+  auto* metrics = options_.metrics;
+  metric_probes_ = telemetry::maybe_counter(metrics, "zmap.probes_sent");
+  metric_bytes_ = telemetry::maybe_counter(metrics, "zmap.bytes_sent");
+  metric_responses_ = telemetry::maybe_counter(metrics, "zmap.responses");
+  metric_malformed_ = telemetry::maybe_counter(metrics, "zmap.malformed");
+  metric_blocked_ = telemetry::maybe_counter(metrics, "zmap.blocked");
+}
 
 std::vector<uint8_t> ZmapQuicScanner::build_probe(crypto::Rng& rng) const {
   // Initial-shaped long header with the forcing version. Contents after
@@ -37,32 +44,61 @@ std::vector<ZmapHit> ZmapQuicScanner::scan(
 
   auto filtered = options_.blocklist.filter(targets);
   stats_.blocked = targets.size() - filtered.size();
+  telemetry::add(metric_blocked_, stats_.blocked);
 
   auto& loop = network_.loop();
   auto socket = network_.open_udp({options_.source, 50000});
   std::map<netsim::IpAddress, std::vector<quic::Version>> hits;
+
+  telemetry::Tracer tracer(options_.trace_sink, &loop,
+                           telemetry::Vantage::kClient);
 
   socket->set_receiver([&](const netsim::Endpoint& from,
                            std::span<const uint8_t> data) {
     auto vn = quic::decode_version_negotiation(data);
     if (!vn) {
       ++stats_.malformed;
+      telemetry::add(metric_malformed_);
       return;
     }
     ++stats_.responses;
+    telemetry::add(metric_responses_);
+    if (tracer.active()) {
+      tracer.emit(telemetry::EventType::kPacketReceived,
+                  {{"packet_type", "version_negotiation"},
+                   {"peer", from.addr.to_string()},
+                   {"size", data.size()}});
+      std::string versions;
+      for (quic::Version v : vn->supported_versions) {
+        if (!versions.empty()) versions += ' ';
+        versions += quic::version_name(v);
+      }
+      tracer.emit(telemetry::EventType::kVersionNegotiation,
+                  {{"peer", from.addr.to_string()},
+                   {"server_versions", versions}});
+    }
     hits.emplace(from.addr, vn->supported_versions);
   });
 
-  crypto::Rng rng(0x2a9a);
+  crypto::Rng rng(options_.seed);
   RateLimiter limiter(options_.packets_per_second);
   uint64_t base = loop.now_us();
   for (size_t i = 0; i < filtered.size(); ++i) {
     auto addr = filtered[i];
     loop.schedule_at(base + limiter.send_time_us(i), [this, &rng, addr,
-                                                      &socket] {
+                                                      &socket, &tracer] {
       auto probe = build_probe(rng);
       stats_.bytes_sent += probe.size();
       ++stats_.probes_sent;
+      telemetry::add(metric_probes_);
+      telemetry::add(metric_bytes_, probe.size());
+      if (tracer.active()) {
+        tracer.emit(telemetry::EventType::kPacketSent,
+                    {{"packet_type", "initial"},
+                     {"version", quic::version_name(options_.probe_version)},
+                     {"target", addr.to_string()},
+                     {"size", probe.size()}});
+      }
       socket->send({addr, 443}, std::move(probe));
     });
   }

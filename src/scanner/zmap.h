@@ -13,6 +13,8 @@
 #include "crypto/rng.h"
 #include "quic/packet.h"
 #include "scanner/ethics.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace scanner {
 
@@ -25,6 +27,12 @@ struct ZmapOptions {
   uint64_t response_window_us = 2'000'000;
   netsim::IpAddress source = netsim::IpAddress::v4(0xc0000201);  // 192.0.2.1
   Blocklist blocklist;
+  /// Seed for probe connection-ID entropy (previously hard-coded).
+  uint64_t seed = 0x2a9a;
+  /// Optional telemetry; both may be null/empty for zero-cost scans.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Single sink for the whole sweep (stateless scan = one trace).
+  telemetry::TraceSink* trace_sink = nullptr;
 };
 
 struct ZmapHit {
@@ -57,6 +65,11 @@ class ZmapQuicScanner {
   netsim::Network& network_;
   ZmapOptions options_;
   ZmapStats stats_;
+  telemetry::Counter* metric_probes_ = nullptr;
+  telemetry::Counter* metric_bytes_ = nullptr;
+  telemetry::Counter* metric_responses_ = nullptr;
+  telemetry::Counter* metric_malformed_ = nullptr;
+  telemetry::Counter* metric_blocked_ = nullptr;
 };
 
 }  // namespace scanner

@@ -2,19 +2,31 @@
 // lists against a synthetic-internet snapshot, printing CSV rows for
 // domains with any A/AAAA/HTTPS data (the QUIC-relevant subset).
 //
-//   dns_scan_cli [--week N] [--list NAME] [--https-only]
+//   dns_scan_cli [--week N] [--list NAME] [--https-only] [--seed N]
+//                [--qlog DIR] [--metrics FILE]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
+// --seed reseeds the synthetic population; --qlog writes one
+// JSON-Lines trace for the bulk resolution; --metrics dumps the run's
+// counters as JSON on exit.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "internet/internet.h"
 #include "scanner/dns_scan.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 int main(int argc, char** argv) {
   int week = 18;
   std::string list = "alexa";
   bool https_only = false;
+  uint64_t seed = 0x9000;
+  std::string qlog_dir;
+  std::string metrics_file;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--week" && i + 1 < argc) {
@@ -23,17 +35,43 @@ int main(int argc, char** argv) {
       list = argv[++i];
     } else if (arg == "--https-only") {
       https_only = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--qlog" && i + 1 < argc) {
+      qlog_dir = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: dns_scan_cli [--week N] [--list NAME] "
-                   "[--https-only]\n");
+                   "[--https-only] [--seed N] [--qlog DIR] "
+                   "[--metrics FILE]\n");
       return 2;
     }
   }
 
   netsim::EventLoop loop;
-  internet::Internet internet({.dns_corpus_scale = 0.05}, week, loop);
-  scanner::DnsScanner dns(internet.zones());
+  internet::Internet internet({.seed = seed, .dns_corpus_scale = 0.05}, week,
+                              loop);
+
+  telemetry::MetricsRegistry metrics;
+  loop.set_metrics(&metrics);
+  internet.network().set_metrics(&metrics);
+
+  std::unique_ptr<telemetry::TraceSink> trace;
+  if (!qlog_dir.empty()) {
+    try {
+      trace = telemetry::QlogDir(qlog_dir).open("dns_" + list);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot create qlog dir %s: %s\n",
+                   qlog_dir.c_str(), e.what());
+      return 2;
+    }
+  }
+
+  scanner::DnsScanner dns(
+      internet.zones(), &metrics,
+      telemetry::Tracer(trace.get(), &loop, telemetry::Vantage::kClient));
   auto scan = dns.scan_list(list, internet.list_corpus(list));
 
   std::printf("domain,a,aaaa,https_alpn,ipv4_hints,ipv6_hints\n");
@@ -76,5 +114,14 @@ int main(int argc, char** argv) {
                scan.with_aaaa, scan.with_https_rr,
                100.0 * scan.https_rr_rate(),
                static_cast<unsigned long long>(dns.queries_sent()));
+
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
+      return 2;
+    }
+    metrics.write_json(out);
+  }
   return 0;
 }

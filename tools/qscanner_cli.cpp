@@ -5,39 +5,64 @@
 // fields.
 //
 //   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
+//                [--seed N] [--qlog DIR] [--metrics FILE]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
 // --all scans every ZMap-discoverable IPv4 address without SNI.
+// --qlog writes one JSON-Lines trace per attempt into DIR; --metrics
+// writes the run's counter/histogram summary as JSON on exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "internet/internet.h"
 #include "internet/tp_catalog.h"
 #include "scanner/qscanner.h"
 #include "scanner/zmap.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
+
+// RFC 4180: fields containing the delimiter, a double quote or a line
+// break must be quoted, with embedded quotes doubled. Everything the
+// scanner prints verbatim comes off the (simulated) wire -- server
+// headers, certificate names, SNI -- so unescaped output would let a
+// scanned host inject CSV columns into the measurement data.
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
 void print_row(const scanner::QscanResult& result) {
   const auto& tp = result.report.server_transport_params;
   std::printf(
       "%s,%s,%s,%s,%s,%s,%d,%llu,%llu,%s\n",
-      result.target.address.to_string().c_str(),
-      result.target.sni.value_or("").c_str(),
-      scanner::to_string(result.outcome).c_str(),
+      csv_escape(result.target.address.to_string()).c_str(),
+      csv_escape(result.target.sni.value_or("")).c_str(),
+      csv_escape(scanner::to_string(result.outcome)).c_str(),
       result.outcome == scanner::QscanOutcome::kSuccess
-          ? quic::version_name(result.report.negotiated_version).c_str()
+          ? csv_escape(quic::version_name(result.report.negotiated_version))
+                .c_str()
           : "",
-      result.report.tls.selected_alpn.value_or("").c_str(),
-      result.report.tls.certificate_chain.empty()
-          ? ""
-          : result.report.tls.certificate_chain[0].subject_cn.c_str(),
+      csv_escape(result.report.tls.selected_alpn.value_or("")).c_str(),
+      csv_escape(result.report.tls.certificate_chain.empty()
+                     ? ""
+                     : result.report.tls.certificate_chain[0].subject_cn)
+          .c_str(),
       internet::tp_config_id_for_key(tp.config_key()),
       static_cast<unsigned long long>(tp.initial_max_data.value_or(0)),
       static_cast<unsigned long long>(tp.effective_max_udp_payload_size()),
-      result.server_header.value_or("").c_str());
+      csv_escape(result.server_header.value_or("")).c_str());
 }
 
 }  // namespace
@@ -47,6 +72,9 @@ int main(int argc, char** argv) {
   bool scan_all = false;
   bool send_http = true;
   std::string targets_file;
+  uint64_t seed = 0x5ca9;
+  std::string qlog_dir;
+  std::string metrics_file;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -58,10 +86,16 @@ int main(int argc, char** argv) {
       send_http = false;
     } else if (arg == "--targets" && i + 1 < argc) {
       targets_file = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--qlog" && i + 1 < argc) {
+      qlog_dir = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: qscanner_cli [--week N] [--all | --targets FILE] "
-                   "[--no-http]\n");
+                   "[--no-http] [--seed N] [--qlog DIR] [--metrics FILE]\n");
       return 2;
     }
   }
@@ -70,13 +104,37 @@ int main(int argc, char** argv) {
   netsim::EventLoop loop;
   internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
 
+  // The registry is always attached: the per-outcome stderr summary
+  // reads from it, and --metrics merely dumps it to a file.
+  telemetry::MetricsRegistry metrics;
+  loop.set_metrics(&metrics);
+  internet.network().set_metrics(&metrics);
+
+  std::optional<telemetry::QlogDir> qlog;
+  if (!qlog_dir.empty()) {
+    try {
+      qlog.emplace(qlog_dir);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot create qlog dir %s: %s\n",
+                   qlog_dir.c_str(), e.what());
+      return 2;
+    }
+  }
+
   scanner::QscanOptions options;
   options.send_http_head = send_http;
+  options.seed = seed;
+  options.metrics = &metrics;
+  if (qlog) options.trace_factory = qlog->factory();
   scanner::QScanner qscanner(internet.network(), options);
 
   std::vector<scanner::QscanTarget> targets;
   if (scan_all) {
-    scanner::ZmapQuicScanner zmap(internet.network(), {});
+    scanner::ZmapOptions zmap_options;
+    zmap_options.seed = seed;
+    zmap_options.metrics = &metrics;
+    scanner::ZmapQuicScanner zmap(internet.network(),
+                                  std::move(zmap_options));
     for (const auto& hit : zmap.scan(internet.zmap_candidates_v4()))
       targets.push_back({hit.address, std::nullopt, hit.versions});
   } else {
@@ -105,15 +163,32 @@ int main(int argc, char** argv) {
   std::printf(
       "saddr,sni,outcome,version,alpn,cert_cn,tp_config,initial_max_data,"
       "max_udp_payload,server\n");
-  size_t scanned = 0, success = 0;
+  size_t scanned = 0;
   for (const auto& target : targets) {
     if (!qscanner.compatible(target)) continue;
     auto result = qscanner.scan_one(target);
     print_row(result);
     ++scanned;
-    if (result.outcome == scanner::QscanOutcome::kSuccess) ++success;
   }
-  std::fprintf(stderr, "# scanned %zu targets, %zu successful\n", scanned,
-               success);
+
+  std::fprintf(stderr, "# scanned %zu targets, %llu attempts\n", scanned,
+               static_cast<unsigned long long>(qscanner.attempts()));
+  for (int i = 0; i < 5; ++i) {
+    auto name =
+        scanner::to_string(static_cast<scanner::QscanOutcome>(i));
+    const auto* counter = metrics.find_counter("qscan.outcome." + name);
+    std::fprintf(stderr, "#   %-22s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(
+                     counter ? counter->value() : 0));
+  }
+
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
+      return 2;
+    }
+    metrics.write_json(out);
+  }
   return 0;
 }

@@ -4,12 +4,21 @@
 //
 //   zmap_quic_cli [--week N] [--no-padding] [--pps N]
 //                 [--blocklist CIDR[,CIDR...]] [--ipv6] [--csv]
+//                 [--seed N] [--qlog DIR] [--metrics FILE]
+//
+// --qlog writes one JSON-Lines trace for the whole sweep (the module is
+// stateless, so probes and VN responses share one file); --metrics
+// dumps the run's counters as JSON on exit.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "internet/internet.h"
 #include "scanner/zmap.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -17,7 +26,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: zmap_quic_cli [--week N] [--no-padding] [--pps N]\n"
                "                     [--blocklist CIDR[,CIDR...]] [--ipv6]\n"
-               "                     [--csv]\n");
+               "                     [--csv] [--seed N] [--qlog DIR]\n"
+               "                     [--metrics FILE]\n");
 }
 
 }  // namespace
@@ -29,11 +39,20 @@ int main(int argc, char** argv) {
   bool csv = false;
   uint64_t pps = 15'000;
   scanner::Blocklist blocklist;
+  uint64_t seed = 0x2a9a;
+  std::string qlog_dir;
+  std::string metrics_file;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--week" && i + 1 < argc) {
       week = std::atoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (arg == "--qlog" && i + 1 < argc) {
+      qlog_dir = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_file = argv[++i];
     } else if (arg == "--no-padding") {
       padding = false;
     } else if (arg == "--pps" && i + 1 < argc) {
@@ -67,10 +86,28 @@ int main(int argc, char** argv) {
   netsim::EventLoop loop;
   internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
 
+  telemetry::MetricsRegistry metrics;
+  loop.set_metrics(&metrics);
+  internet.network().set_metrics(&metrics);
+
+  std::unique_ptr<telemetry::TraceSink> sweep_trace;
+  if (!qlog_dir.empty()) {
+    try {
+      sweep_trace = telemetry::QlogDir(qlog_dir).open("zmap_sweep");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot create qlog dir %s: %s\n",
+                   qlog_dir.c_str(), e.what());
+      return 2;
+    }
+  }
+
   scanner::ZmapOptions options;
   options.pad_to_1200 = padding;
   options.packets_per_second = pps;
   options.blocklist = std::move(blocklist);
+  options.seed = seed;
+  options.metrics = &metrics;
+  options.trace_sink = sweep_trace.get();
   scanner::ZmapQuicScanner zmap(internet.network(), std::move(options));
 
   auto targets =
@@ -102,5 +139,14 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(zmap.stats().probes_sent),
                static_cast<unsigned long long>(zmap.stats().bytes_sent),
                hits.size());
+
+  if (!metrics_file.empty()) {
+    std::ofstream out(metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
+      return 2;
+    }
+    metrics.write_json(out);
+  }
   return 0;
 }
