@@ -1,0 +1,125 @@
+#include "engine/engine.h"
+
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "crypto/rng.h"
+
+namespace engine {
+
+uint64_t shard_seed(uint64_t campaign_seed, uint32_t shard_index) {
+  if (shard_index == 0) return campaign_seed;
+  // splitmix64 keyed by (seed, index): one advance mixes the index in,
+  // a second decorrelates adjacent indices. The golden-ratio constant
+  // matches the scanners' own per-attempt seed derivation.
+  uint64_t state =
+      campaign_seed ^ (0x9e3779b97f4a7c15ull * (shard_index + 1));
+  crypto::splitmix64(state);
+  return crypto::splitmix64(state);
+}
+
+std::vector<ShardRange> shard_ranges(size_t n, int jobs) {
+  size_t k = jobs < 1 ? 1 : static_cast<size_t>(jobs);
+  std::vector<ShardRange> ranges;
+  ranges.reserve(k);
+  size_t base = n / k;
+  size_t extra = n % k;
+  size_t begin = 0;
+  for (size_t s = 0; s < k; ++s) {
+    size_t size = base + (s < extra ? 1 : 0);
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ranges;
+}
+
+int shard_of(size_t index, size_t n, int jobs) {
+  size_t k = jobs < 1 ? 1 : static_cast<size_t>(jobs);
+  size_t base = n / k;
+  size_t extra = n % k;
+  // The first `extra` shards hold base+1 targets each.
+  size_t fat = extra * (base + 1);
+  if (index < fat) return static_cast<int>(index / (base + 1));
+  if (base == 0) return static_cast<int>(k) - 1;  // index >= n guard
+  return static_cast<int>(extra + (index - fat) / base);
+}
+
+Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
+  if (options_.jobs < 1)
+    throw std::invalid_argument("Campaign: jobs must be >= 1");
+}
+
+void Campaign::run_shard(int shard_index, const ShardBody& body) {
+  // The whole shard world is constructed here, in the exact order the
+  // serial CLIs construct theirs: loop, internet, metrics attachment,
+  // trace directory. That ordering is part of the determinism
+  // contract -- it fixes the virtual-time position of every event a
+  // body emits.
+  ShardEnv env;
+  env.shard_index = shard_index;
+  env.jobs = options_.jobs;
+  env.seed = shard_seed(options_.seed, static_cast<uint32_t>(shard_index));
+  env.range = ranges_[static_cast<size_t>(shard_index)];
+
+  netsim::EventLoop loop;
+  internet::Internet internet(options_.population, options_.week, loop);
+  auto& metrics = *shard_metrics_[static_cast<size_t>(shard_index)];
+  loop.set_metrics(&metrics);
+  internet.network().set_metrics(&metrics);
+
+  std::optional<telemetry::QlogDir> qlog;
+  if (!options_.qlog_dir.empty()) {
+    std::string dir = options_.qlog_dir;
+    if (options_.jobs > 1) {
+      char suffix[16];
+      std::snprintf(suffix, sizeof suffix, "/shard%02d", shard_index);
+      dir += suffix;
+    }
+    qlog.emplace(dir);
+  }
+
+  env.loop = &loop;
+  env.internet = &internet;
+  env.metrics = &metrics;
+  if (qlog) env.trace_factory = qlog->factory();
+
+  body(env);
+}
+
+void Campaign::run(size_t target_count, const ShardBody& body) {
+  if (ran_) throw std::logic_error("Campaign::run called twice");
+  ran_ = true;
+  ranges_ = shard_ranges(target_count, options_.jobs);
+  shard_metrics_.clear();
+  for (int s = 0; s < options_.jobs; ++s)
+    shard_metrics_.push_back(std::make_unique<telemetry::MetricsRegistry>());
+
+  if (options_.jobs == 1) {
+    run_shard(0, body);
+  } else {
+    std::vector<std::exception_ptr> errors(
+        static_cast<size_t>(options_.jobs));
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(options_.jobs));
+    for (int s = 0; s < options_.jobs; ++s) {
+      workers.emplace_back([this, s, &body, &errors] {
+        try {
+          run_shard(s, body);
+        } catch (...) {
+          errors[static_cast<size_t>(s)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    for (auto& error : errors)
+      if (error) std::rethrow_exception(error);
+  }
+
+  // Fold in shard index order (any order gives the same registry; a
+  // fixed order keeps the implementation trivially deterministic).
+  for (const auto& shard : shard_metrics_) merged_.merge_from(*shard);
+}
+
+}  // namespace engine

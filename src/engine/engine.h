@@ -1,0 +1,208 @@
+// Sharded campaign engine: multi-core execution of the paper's scan
+// campaigns with a hard determinism contract. The paper's tooling
+// covered the full IPv4 space and millions of domains per weekly run;
+// the real ZMap gets there by splitting the target space across send
+// threads ("Ten Years of ZMap"). This engine does the same for every
+// scanner in the repository while keeping the one property the real
+// tools never had: the merged output is a pure function of
+// (campaign seed, shard count).
+//
+// The model:
+//   - The target list is split into K contiguous, order-stable shards
+//     (shard_ranges); every target lands in exactly one shard and
+//     concatenating the shards in shard order reproduces the input
+//     order.
+//   - Each shard runs on its own worker thread with a fully private
+//     world: its own virtual-time EventLoop, its own Internet (hosts,
+//     zones, network fabric), its own MetricsRegistry and its own qlog
+//     directory. No mutable state is shared between shards, so there
+//     is nothing to lock and nothing for a data race to hide in.
+//   - Each shard's scanner seed derives from the campaign seed via
+//     shard_seed(); shard 0 inherits the campaign seed unchanged,
+//     which is what makes a --jobs 1 campaign byte-identical to the
+//     historical serial code path.
+//   - Results merge in shard index order; metrics merge through
+//     MetricsRegistry::merge_from (associative + commutative), so the
+//     merged summary does not depend on which shard finished first.
+//
+// Per-shard outputs (qlog traces, per-shard metrics) are themselves
+// deterministic: shard i of a K-way campaign is byte-identical to a
+// serial campaign over that shard's targets run with shard i's seed.
+// tests/test_engine_differential.cpp holds the engine to all of this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "internet/internet.h"
+#include "netsim/event_loop.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace engine {
+
+/// Derives the scanner seed of one shard from the campaign seed.
+/// Shard 0 inherits the campaign seed unchanged -- a single-shard
+/// campaign must be bit-compatible with the pre-engine serial path --
+/// and every other shard gets an independent splitmix64 stream keyed
+/// by its index, so shards never share connection entropy.
+uint64_t shard_seed(uint64_t campaign_seed, uint32_t shard_index);
+
+/// A contiguous half-open target range [begin, end).
+struct ShardRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+  bool operator==(const ShardRange&) const = default;
+};
+
+/// Splits n targets into `jobs` contiguous balanced ranges: the first
+/// n % jobs shards take one extra target. The partition is exact
+/// (every index in exactly one range) and order-stable (concatenating
+/// the ranges in shard order yields 0..n-1). jobs is clamped to >= 1;
+/// with jobs > n the tail ranges are empty but still run, so the
+/// merged metrics carry the same key set for every K.
+std::vector<ShardRange> shard_ranges(size_t n, int jobs);
+
+/// The shard that owns target index i under shard_ranges(n, jobs).
+int shard_of(size_t index, size_t n, int jobs);
+
+/// Everything a shard body may touch. All pointers refer to
+/// shard-private state owned by the engine for the duration of the
+/// body call; nothing here is visible to any other shard.
+struct ShardEnv {
+  int shard_index = 0;
+  int jobs = 1;
+  /// Scanner seed for this shard (shard_seed of the campaign seed).
+  uint64_t seed = 0;
+  /// The contiguous slice of the campaign's target list this shard owns.
+  ShardRange range;
+  netsim::EventLoop* loop = nullptr;
+  internet::Internet* internet = nullptr;
+  /// Shard-private registry; the engine merges all of them in shard
+  /// order after the run.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Per-attempt qlog sinks, or an empty factory when tracing is off.
+  /// With jobs > 1 each shard writes into <qlog_dir>/shardNN/; a
+  /// single-shard campaign writes into <qlog_dir> directly, matching
+  /// the serial CLIs byte for byte.
+  telemetry::TraceSinkFactory trace_factory;
+};
+
+struct CampaignOptions {
+  /// Worker threads / shards. 1 runs the single shard inline on the
+  /// calling thread (the serial path, exactly).
+  int jobs = 1;
+  /// Campaign seed; per-shard scanner seeds derive via shard_seed().
+  uint64_t seed = 0;
+  /// Synthetic-internet snapshot every shard builds privately.
+  int week = 18;
+  internet::PopulationParams population{};
+  /// qlog output root; empty disables tracing.
+  std::string qlog_dir;
+};
+
+/// Runs one campaign body per shard and owns the deterministic merge.
+///
+///   engine::Campaign campaign(options);
+///   std::vector<std::vector<Row>> rows(campaign.shard_count());
+///   campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+///     Scanner s(env.internet->network(), opts_with(env));
+///     for (size_t i = env.range.begin; i < env.range.end; ++i)
+///       rows[env.shard_index].push_back(s.scan_one(targets[i]));
+///   });
+///   // rows concatenated in shard order == serial order;
+///   // campaign.metrics() is the merged registry.
+///
+/// Bodies receive a shard index and may write only to their own slot
+/// of caller-side output vectors -- the engine never copies results,
+/// it just guarantees exclusive slots and a barrier at the end of
+/// run(). Exceptions thrown by a body are captured per shard and the
+/// lowest-index one is rethrown on the caller thread after all shards
+/// joined.
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options);
+
+  using ShardBody = std::function<void(ShardEnv&)>;
+
+  /// Partitions `target_count` targets and runs `body` once per shard
+  /// (worker threads when jobs > 1, inline when jobs == 1). May be
+  /// called once per Campaign instance.
+  void run(size_t target_count, const ShardBody& body);
+
+  int shard_count() const { return options_.jobs; }
+  const CampaignOptions& options() const { return options_; }
+
+  /// The ranges of the most recent run (empty before run()).
+  const std::vector<ShardRange>& ranges() const { return ranges_; }
+
+  /// Merged registry, valid after run(): per-shard registries folded
+  /// in shard index order (the order is immaterial -- merge_from is
+  /// associative and commutative -- but fixing it keeps the code
+  /// auditably deterministic).
+  const telemetry::MetricsRegistry& metrics() const { return merged_; }
+
+  /// Per-shard registries of the most recent run, for tests and tools
+  /// that check the shard/serial equivalence directly.
+  const telemetry::MetricsRegistry& shard_metrics(int shard) const {
+    return *shard_metrics_[static_cast<size_t>(shard)];
+  }
+
+ private:
+  void run_shard(int shard_index, const ShardBody& body);
+
+  CampaignOptions options_;
+  std::vector<ShardRange> ranges_;
+  std::vector<std::unique_ptr<telemetry::MetricsRegistry>> shard_metrics_;
+  telemetry::MetricsRegistry merged_;
+  bool ran_ = false;
+};
+
+/// Stable merge of per-shard result vectors by a strict-weak-order key,
+/// for campaigns whose serial baseline emits key-sorted output (the
+/// ZMap sweep collects hits in address order). Each shard's vector must
+/// already be sorted by `less` -- true for per-shard ZMap hit lists --
+/// and shards own disjoint target subsets, so the K-way merge
+/// reproduces the serial (globally sorted) order for every K.
+template <typename T, typename Less>
+std::vector<T> merge_sorted_shards(std::vector<std::vector<T>> shards,
+                                   Less less) {
+  std::vector<T> merged;
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  merged.reserve(total);
+  std::vector<size_t> next(shards.size(), 0);
+  for (size_t emitted = 0; emitted < total; ++emitted) {
+    size_t best = shards.size();
+    for (size_t s = 0; s < shards.size(); ++s) {
+      if (next[s] >= shards[s].size()) continue;
+      if (best == shards.size() ||
+          less(shards[s][next[s]], shards[best][next[best]]))
+        best = s;
+    }
+    merged.push_back(std::move(shards[best][next[best]]));
+    ++next[best];
+  }
+  return merged;
+}
+
+/// Concatenation in shard index order, for campaigns whose serial
+/// baseline preserves input order (QScanner target files, DNS corpora):
+/// with contiguous shards this reproduces the serial output order.
+template <typename T>
+std::vector<T> concat_shards(std::vector<std::vector<T>> shards) {
+  std::vector<T> merged;
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  merged.reserve(total);
+  for (auto& shard : shards)
+    for (auto& item : shard) merged.push_back(std::move(item));
+  return merged;
+}
+
+}  // namespace engine

@@ -59,13 +59,16 @@ quic::Version QScanner::pick_version(const QscanTarget& target) const {
 QscanResult QScanner::scan_one(const QscanTarget& target) {
   ++attempts_;
   telemetry::add(metric_attempts_);
-  // Ephemeral ports and connection entropy are drawn from a
-  // process-wide counter, like an OS port allocator: two scanner
-  // instances must never reuse a (port, connection-ID) pair, or a
-  // server-side demultiplexer could route the new handshake into a
-  // stale session.
-  static uint64_t global_attempt = 0;
-  uint64_t attempt = ++global_attempt;
+  // Ephemeral ports and connection entropy are drawn from the
+  // scanner's own attempt counter. This used to be a process-wide
+  // static (an OS-port-allocator analogy), but a shared mutable
+  // counter is exactly what the sharded campaign engine must not have:
+  // it made traces depend on every scanner ever constructed in the
+  // process and would be a data race across shard threads. Each
+  // scanner owns one network's source endpoint, and sockets close at
+  // the end of every attempt, so a per-instance counter cannot reuse a
+  // live (port, connection-ID) pair.
+  uint64_t attempt = attempts_;
   QscanResult result;
   result.target = target;
 

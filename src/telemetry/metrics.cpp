@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "telemetry/trace.h"
 
@@ -21,6 +22,18 @@ void Histogram::observe(uint64_t value) {
   sum_ += value;
   min_ = std::min(min_, value);
   max_ = std::max(max_, value);
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (bounds_ != other.bounds_)
+    throw std::logic_error("Histogram::merge_from: bucket bounds differ");
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // An empty side contributes min_ == UINT64_MAX / max_ == 0, the
+  // identity elements of min/max, so merging with it is a no-op.
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
 }
 
 uint64_t Histogram::percentile(double p) const {
@@ -58,6 +71,29 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counters_[name].add(c.value());
+  // Gauges are point-in-time values; summing keeps the merge
+  // associative and matches the counters' semantics for the gauge-free
+  // registries the scanners produce today.
+  for (const auto& [name, g] : other.gauges_) {
+    auto& mine = gauges_[name];
+    mine.set(mine.value() + g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+      it = histograms_.emplace(name, Histogram(h.bounds())).first;
+    it->second.merge_from(h);
+  }
 }
 
 namespace {

@@ -46,6 +46,13 @@ class Histogram {
 
   void observe(uint64_t value);
 
+  /// Accumulates another histogram with identical bounds (bucket-wise
+  /// sum; min/max/count/sum combine losslessly). This is the shard-merge
+  /// primitive: it is associative and commutative, so a merged campaign
+  /// registry is independent of the order shards are folded in. Throws
+  /// std::logic_error on a bounds mismatch.
+  void merge_from(const Histogram& other);
+
   uint64_t count() const { return count_; }
   uint64_t sum() const { return sum_; }
   uint64_t min() const { return count_ ? min_ : 0; }
@@ -81,6 +88,26 @@ class MetricsRegistry {
                        std::vector<uint64_t> bounds);
 
   const Counter* find_counter(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Accumulates every metric of `other` into this registry: counters
+  /// and gauges add, histograms merge bucket-wise (bounds must agree
+  /// for shared names). Registries fed by the same instrumented code
+  /// paths always satisfy that, since bounds are fixed at registration.
+  /// Used by the campaign engine to fold per-shard registries into one
+  /// deterministic summary; the operation is associative and
+  /// commutative, so the merged JSON is a pure function of the shard
+  /// set, not of merge order.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Read-side iteration (merge, tests, tools). Maps are name-ordered.
+  const std::map<std::string, Counter>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
   /// Deterministic JSON summary (keys sorted by name, integers only).
   void write_json(std::ostream& out) const;

@@ -1,0 +1,307 @@
+// Differential tests for the sharded campaign engine: parallel must
+// equal serial, byte for byte. Three contracts from DESIGN.md
+// ("Sharded campaign engine"):
+//
+//   1. A --jobs 1 campaign is byte-identical to the pre-engine serial
+//      code path (hand-rolled here: EventLoop + Internet + registry +
+//      QlogDir built directly, no engine involved).
+//   2. The merged rows and merged metrics JSON are identical for every
+//      shard count K -- the output is a pure function of (seed, K) and
+//      in fact does not depend on K at all.
+//   3. Shard i of a K-way campaign is byte-identical (qlog traces and
+//      per-shard metrics) to a serial run over that shard's target
+//      slice with shard_seed(seed, i).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "internet/internet.h"
+#include "scanner/qscanner.h"
+#include "scanner/tcp_tls.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kSeed = 0x5ca9;
+constexpr int kWeek = 18;
+constexpr internet::PopulationParams kPopulation{.dns_corpus_scale = 0.002};
+
+// A fixed target list drawn from the synthetic population, the same
+// way qscanner_cli --targets would load one from a file.
+std::vector<scanner::QscanTarget> campaign_targets(size_t limit = 48) {
+  netsim::EventLoop loop;
+  internet::Internet net(kPopulation, kWeek, loop);
+  std::vector<scanner::QscanTarget> targets;
+  for (const auto& host : net.population().hosts()) {
+    if (!host.address.is_v4()) continue;
+    targets.push_back({host.address, std::nullopt,
+                       host.advertised_versions});
+    if (targets.size() >= limit) break;
+  }
+  return targets;
+}
+
+// Everything a row comparison should be sensitive to: outcome class,
+// negotiated version, TLS, transport parameters, HTTP result.
+std::string row_of(const scanner::QscanResult& result) {
+  std::ostringstream out;
+  out << result.target.address.to_string() << ','
+      << result.target.sni.value_or("") << ','
+      << scanner::to_string(result.outcome) << ',';
+  if (result.outcome == scanner::QscanOutcome::kSuccess)
+    out << quic::version_name(result.report.negotiated_version);
+  out << ',' << result.report.tls.selected_alpn.value_or("") << ','
+      << result.report.server_transport_params.initial_max_data.value_or(0)
+      << ',' << result.server_header.value_or("");
+  return out.str();
+}
+
+struct CampaignRun {
+  std::vector<std::string> rows;
+  std::string metrics_json;
+  std::vector<std::string> shard_metrics_json;
+};
+
+std::string registry_json(const telemetry::MetricsRegistry& registry) {
+  std::ostringstream out;
+  registry.write_json(out);
+  return out.str();
+}
+
+// The production shard body from qscanner_cli --targets, in miniature.
+CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
+                         int jobs, uint64_t seed,
+                         const std::string& qlog_dir = "") {
+  engine::CampaignOptions options;
+  options.jobs = jobs;
+  options.seed = seed;
+  options.week = kWeek;
+  options.population = kPopulation;
+  options.qlog_dir = qlog_dir;
+  engine::Campaign campaign(options);
+
+  std::vector<std::vector<scanner::QscanResult>> shard_rows(
+      static_cast<size_t>(jobs));
+  campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+    scanner::QscanOptions qopt;
+    qopt.seed = env.seed;
+    qopt.metrics = env.metrics;
+    qopt.trace_factory = env.trace_factory;
+    scanner::QScanner qscanner(env.internet->network(), qopt);
+    auto& rows = shard_rows[static_cast<size_t>(env.shard_index)];
+    for (size_t i = env.range.begin; i < env.range.end; ++i) {
+      if (!qscanner.compatible(targets[i])) continue;
+      rows.push_back(qscanner.scan_one(targets[i]));
+    }
+  });
+
+  CampaignRun run;
+  for (const auto& result : engine::concat_shards(std::move(shard_rows)))
+    run.rows.push_back(row_of(result));
+  run.metrics_json = registry_json(campaign.metrics());
+  for (int s = 0; s < jobs; ++s)
+    run.shard_metrics_json.push_back(registry_json(campaign.shard_metrics(s)));
+  return run;
+}
+
+// The pre-engine serial path, reconstructed with no engine code at
+// all: this is exactly what the CLIs did before the campaign runner
+// existed, and what a --jobs 1 campaign must reproduce byte for byte.
+CampaignRun run_serial_baseline(
+    const std::vector<scanner::QscanTarget>& targets, uint64_t seed,
+    const std::string& qlog_dir = "") {
+  netsim::EventLoop loop;
+  internet::Internet net(kPopulation, kWeek, loop);
+  telemetry::MetricsRegistry metrics;
+  loop.set_metrics(&metrics);
+  net.network().set_metrics(&metrics);
+
+  std::optional<telemetry::QlogDir> qlog;
+  if (!qlog_dir.empty()) qlog.emplace(qlog_dir);
+
+  scanner::QscanOptions qopt;
+  qopt.seed = seed;
+  qopt.metrics = &metrics;
+  if (qlog) qopt.trace_factory = qlog->factory();
+  scanner::QScanner qscanner(net.network(), qopt);
+
+  CampaignRun run;
+  for (const auto& target : targets) {
+    if (!qscanner.compatible(target)) continue;
+    run.rows.push_back(row_of(qscanner.scan_one(target)));
+  }
+  run.metrics_json = registry_json(metrics);
+  return run;
+}
+
+std::map<std::string, std::string> dir_snapshot(const fs::path& root) {
+  std::map<std::string, std::string> files;
+  if (!fs::exists(root)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    files[fs::relative(entry.path(), root).string()] = text.str();
+  }
+  return files;
+}
+
+fs::path fresh_dir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(EngineDifferential, Jobs1MatchesPreEngineSerialPathByteForByte) {
+  auto targets = campaign_targets();
+  ASSERT_GE(targets.size(), 16u);
+
+  auto engine_dir = fresh_dir("engine_jobs1_qlog");
+  auto serial_dir = fresh_dir("engine_serial_qlog");
+  auto engine_run = run_campaign(targets, 1, kSeed, engine_dir.string());
+  auto serial_run = run_serial_baseline(targets, kSeed, serial_dir.string());
+
+  EXPECT_FALSE(engine_run.rows.empty());
+  EXPECT_EQ(engine_run.rows, serial_run.rows);
+  EXPECT_EQ(engine_run.metrics_json, serial_run.metrics_json);
+
+  // A single-shard campaign writes its traces directly into the qlog
+  // root (no shard00/ subdirectory) so files land exactly where the
+  // serial CLIs put them.
+  auto engine_traces = dir_snapshot(engine_dir);
+  auto serial_traces = dir_snapshot(serial_dir);
+  EXPECT_FALSE(engine_traces.empty());
+  EXPECT_EQ(engine_traces, serial_traces);
+}
+
+TEST(EngineDifferential, MergedOutputIdenticalAcrossShardCounts) {
+  auto targets = campaign_targets();
+  auto serial = run_campaign(targets, 1, kSeed);
+  ASSERT_FALSE(serial.rows.empty());
+
+  for (int jobs : {2, 4, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    auto sharded = run_campaign(targets, jobs, kSeed);
+    EXPECT_EQ(sharded.rows, serial.rows);
+    EXPECT_EQ(sharded.metrics_json, serial.metrics_json);
+  }
+}
+
+TEST(EngineDifferential, PerShardOutputMatchesSerialRunOfShardSeed) {
+  auto targets = campaign_targets();
+  constexpr int kJobs = 4;
+
+  auto campaign_dir = fresh_dir("engine_jobs4_qlog");
+  auto sharded = run_campaign(targets, kJobs, kSeed, campaign_dir.string());
+
+  auto ranges = engine::shard_ranges(targets.size(), kJobs);
+  for (int s = 0; s < kJobs; ++s) {
+    SCOPED_TRACE("shard=" + std::to_string(s));
+    std::vector<scanner::QscanTarget> slice(
+        targets.begin() + static_cast<ptrdiff_t>(ranges[s].begin),
+        targets.begin() + static_cast<ptrdiff_t>(ranges[s].end));
+    auto slice_dir = fresh_dir("engine_shard_serial_qlog");
+    auto serial = run_serial_baseline(
+        slice, engine::shard_seed(kSeed, static_cast<uint32_t>(s)),
+        slice_dir.string());
+
+    // Per-shard metrics equal a serial run of the slice...
+    EXPECT_EQ(sharded.shard_metrics_json[static_cast<size_t>(s)],
+              serial.metrics_json);
+
+    // ...and the shard's qlog subtree is byte-identical to the serial
+    // run's trace directory.
+    char shard_name[16];
+    std::snprintf(shard_name, sizeof shard_name, "shard%02d", s);
+    auto shard_traces = dir_snapshot(campaign_dir / shard_name);
+    auto serial_traces = dir_snapshot(slice_dir);
+    EXPECT_FALSE(shard_traces.empty());
+    EXPECT_EQ(shard_traces, serial_traces);
+  }
+}
+
+TEST(EngineDifferential, EmptyTailShardsLeaveOutputUnchanged) {
+  // More shards than targets: the tail shards run with empty ranges
+  // and must not disturb the merged rows or metrics.
+  auto targets = campaign_targets(5);
+  ASSERT_EQ(targets.size(), 5u);
+  auto serial = run_campaign(targets, 1, kSeed);
+  auto oversharded = run_campaign(targets, 7, kSeed);
+  EXPECT_EQ(oversharded.rows, serial.rows);
+  EXPECT_EQ(oversharded.metrics_json, serial.metrics_json);
+}
+
+TEST(EngineDifferential, TcpTlsCampaignShardsIdentically) {
+  // The fourth scanner family, TLS-over-TCP (the Goscanner analogue),
+  // runs through the same engine: merged rows and merged metrics must
+  // not depend on the shard count either.
+  std::vector<scanner::TcpTarget> targets;
+  {
+    netsim::EventLoop loop;
+    internet::Internet net(kPopulation, kWeek, loop);
+    for (const auto& host : net.population().hosts()) {
+      if (!host.address.is_v4()) continue;
+      targets.push_back({host.address, std::nullopt});
+      if (targets.size() >= 40) break;
+    }
+  }
+  ASSERT_GE(targets.size(), 16u);
+
+  auto run = [&](int jobs) {
+    engine::CampaignOptions options;
+    options.jobs = jobs;
+    options.seed = kSeed;
+    options.week = kWeek;
+    options.population = kPopulation;
+    engine::Campaign campaign(options);
+    std::vector<std::vector<std::string>> shard_rows(
+        static_cast<size_t>(jobs));
+    campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+      scanner::TcpTlsOptions topt;
+      topt.seed = env.seed;
+      topt.metrics = env.metrics;
+      scanner::TcpTlsScanner tcp(env.internet->network(), topt);
+      auto& rows = shard_rows[static_cast<size_t>(env.shard_index)];
+      for (size_t i = env.range.begin; i < env.range.end; ++i) {
+        auto result = tcp.scan_one(targets[i]);
+        std::ostringstream row;
+        row << result.target.address.to_string() << ','
+            << result.port_open << ',' << result.handshake_ok << ','
+            << result.http_ok << ',' << result.alt_svc.size();
+        rows.push_back(row.str());
+      }
+    });
+    return std::make_pair(engine::concat_shards(std::move(shard_rows)),
+                          registry_json(campaign.metrics()));
+  };
+
+  auto serial = run(1);
+  EXPECT_FALSE(serial.first.empty());
+  for (int jobs : {3, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    auto sharded = run(jobs);
+    EXPECT_EQ(sharded.first, serial.first);
+    EXPECT_EQ(sharded.second, serial.second);
+  }
+}
+
+TEST(EngineDifferential, CampaignRunIsSingleUse) {
+  engine::Campaign campaign({.jobs = 2, .seed = 1, .week = kWeek,
+                             .population = kPopulation, .qlog_dir = {}});
+  campaign.run(0, [](engine::ShardEnv&) {});
+  EXPECT_THROW(campaign.run(0, [](engine::ShardEnv&) {}),
+               std::logic_error);
+}
+
+}  // namespace

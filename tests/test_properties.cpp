@@ -4,13 +4,20 @@
 // idempotence and cross-version invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
 #include "crypto/rng.h"
 #include "dns/wire.h"
+#include "engine/engine.h"
 #include "http/alt_svc.h"
 #include "http/h3.h"
 #include "internet/tp_catalog.h"
 #include "quic/packet.h"
 #include "quic/transport_params.h"
+#include "telemetry/metrics.h"
 #include "tls/certificate.h"
 
 namespace {
@@ -240,5 +247,150 @@ INSTANTIATE_TEST_SUITE_P(Versions, RetrySweep,
                          ::testing::Values(quic::kVersion1, quic::kDraft29,
                                            quic::kDraft32, quic::kDraft27,
                                            quic::kDraft28, quic::kDraft34));
+
+/// --- Campaign sharding: exact, stable partitions --------------------
+///
+/// The engine's determinism contract (DESIGN.md "Sharded campaign
+/// engine") rests on shard_ranges being an exact order-stable
+/// partition for *every* (n, K), so sweep the family.
+
+struct ShardCase {
+  size_t n;
+  int jobs;
+};
+
+class ShardPartitionSweep : public ::testing::TestWithParam<ShardCase> {};
+
+TEST_P(ShardPartitionSweep, EveryTargetInExactlyOneShard) {
+  auto [n, jobs] = GetParam();
+  auto ranges = engine::shard_ranges(n, jobs);
+  ASSERT_EQ(ranges.size(), static_cast<size_t>(jobs));
+
+  // Contiguous and exhaustive: concatenating the ranges in shard order
+  // enumerates 0..n-1 exactly once, in input order.
+  size_t next = 0;
+  for (const auto& range : ranges) {
+    EXPECT_EQ(range.begin, next);
+    EXPECT_LE(range.begin, range.end);
+    next = range.end;
+  }
+  EXPECT_EQ(next, n);
+
+  // Balanced: sizes differ by at most one, the first n % jobs shards
+  // take the extra target.
+  size_t base = n / static_cast<size_t>(jobs);
+  size_t extra = n % static_cast<size_t>(jobs);
+  for (size_t s = 0; s < ranges.size(); ++s)
+    EXPECT_EQ(ranges[s].size(), base + (s < extra ? 1 : 0));
+
+  // shard_of is the partition's inverse map.
+  for (size_t i = 0; i < n; ++i) {
+    int s = engine::shard_of(i, n, jobs);
+    ASSERT_GE(s, 0);
+    ASSERT_LT(s, jobs);
+    EXPECT_GE(i, ranges[static_cast<size_t>(s)].begin);
+    EXPECT_LT(i, ranges[static_cast<size_t>(s)].end);
+  }
+}
+
+TEST_P(ShardPartitionSweep, AssignmentIsStable) {
+  auto [n, jobs] = GetParam();
+  // Pure function of (n, jobs): recomputation never reshuffles targets.
+  EXPECT_EQ(engine::shard_ranges(n, jobs), engine::shard_ranges(n, jobs));
+  for (size_t i = 0; i < n; ++i)
+    EXPECT_EQ(engine::shard_of(i, n, jobs), engine::shard_of(i, n, jobs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndShardCounts, ShardPartitionSweep,
+    ::testing::Values(ShardCase{0, 1}, ShardCase{0, 4}, ShardCase{1, 1},
+                      ShardCase{1, 8}, ShardCase{5, 7}, ShardCase{7, 3},
+                      ShardCase{16, 4}, ShardCase{97, 8}, ShardCase{100, 13},
+                      ShardCase{1000, 8}, ShardCase{2605, 16}));
+
+TEST(ShardSeedSweep, Shard0InheritsCampaignSeedOthersDiverge) {
+  for (uint64_t seed : {0ull, 1ull, 0x5ca9ull, 0x9e3779b97f4a7c15ull}) {
+    EXPECT_EQ(engine::shard_seed(seed, 0), seed);
+    // Distinct across shard indices (no shared connection entropy).
+    std::vector<uint64_t> seeds;
+    for (uint32_t s = 0; s < 32; ++s)
+      seeds.push_back(engine::shard_seed(seed, s));
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  }
+}
+
+/// --- Metrics merge: associative, commutative, order-independent -----
+///
+/// The campaign folds shard registries in shard-index order, but the
+/// contract says the order is immaterial; hold the algebra to that.
+
+telemetry::Histogram sample_histogram(uint64_t seed, int samples) {
+  telemetry::Histogram h({10, 100, 1000});
+  crypto::Rng rng(seed);
+  for (int i = 0; i < samples; ++i)
+    h.observe(rng.below(5000));  // spills into the overflow bucket
+  return h;
+}
+
+void expect_same_histogram(const telemetry::Histogram& a,
+                           const telemetry::Histogram& b) {
+  EXPECT_EQ(a.bucket_counts(), b.bucket_counts());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+TEST(HistogramMergeAlgebra, AssociativeAndCommutative) {
+  auto a = sample_histogram(1, 40);
+  auto b = sample_histogram(2, 25);
+  auto c = sample_histogram(3, 0);  // one empty operand in the mix
+
+  auto ab_c = a;        // (a + b) + c
+  ab_c.merge_from(b);
+  ab_c.merge_from(c);
+  auto bc = b;          // a + (b + c)
+  bc.merge_from(c);
+  auto a_bc = a;
+  a_bc.merge_from(bc);
+  auto cba = c;         // (c + b) + a  -- commuted fold
+  cba.merge_from(b);
+  cba.merge_from(a);
+
+  expect_same_histogram(ab_c, a_bc);
+  expect_same_histogram(ab_c, cba);
+}
+
+TEST(RegistryMergeAlgebra, FoldOrderDoesNotChangeTheJson) {
+  // Three shard-like registries with overlapping and disjoint names,
+  // as produced by shards that saw different outcome mixes.
+  auto make = [](uint64_t seed, bool with_extra) {
+    auto registry = std::make_unique<telemetry::MetricsRegistry>();
+    crypto::Rng rng(seed);
+    registry->counter("qscan.attempts").add(rng.range(1, 50));
+    registry->gauge("loop.depth").set(static_cast<int64_t>(seed));
+    auto& h = registry->histogram("rtt", {10, 100, 1000});
+    for (int i = 0; i < 20; ++i) h.observe(rng.below(5000));
+    if (with_extra) registry->counter("qscan.outcome.timeout").add(seed);
+    return registry;
+  };
+  auto r1 = make(1, true);
+  auto r2 = make(2, false);
+  auto r3 = make(3, true);
+
+  auto fold = [](std::vector<const telemetry::MetricsRegistry*> order) {
+    telemetry::MetricsRegistry merged;
+    for (const auto* r : order) merged.merge_from(*r);
+    std::ostringstream json;
+    merged.write_json(json);
+    return json.str();
+  };
+
+  auto forward = fold({r1.get(), r2.get(), r3.get()});
+  EXPECT_EQ(forward, fold({r3.get(), r1.get(), r2.get()}));
+  EXPECT_EQ(forward, fold({r2.get(), r3.get(), r1.get()}));
+  EXPECT_NE(forward, fold({r1.get(), r2.get()}));  // merge is not lossy
+}
 
 }  // namespace

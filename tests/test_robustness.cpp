@@ -181,7 +181,7 @@ TEST(Robustness, PtoRetransmissionRecoversLossyHandshakes) {
           {host.address, std::nullopt, host.advertised_versions});
       ++total;
       if (result.outcome == scanner::QscanOutcome::kSuccess) ++ok;
-      if (total >= 25) break;
+      if (total >= 60) break;
     }
     return std::pair{ok, total};
   };

@@ -9,6 +9,7 @@
 #include <cctype>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "internet/internet.h"
@@ -101,6 +102,95 @@ TEST(Metrics, RegistryLookupIsStableAndNamed) {
   auto& h2 = registry.histogram("h", {7, 8, 9});
   EXPECT_EQ(&h1, &h2);
   EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+// --- Shard merge (the campaign engine's fold primitive) --------------
+
+TEST(HistogramMerge, EmptySideIsTheIdentity) {
+  Histogram populated({10, 100});
+  populated.observe(5);
+  populated.observe(50);
+  populated.observe(7000);  // overflow bucket
+
+  // Merging an empty histogram in must not disturb anything -- in
+  // particular min() must not collapse to the empty side's 0 (the
+  // internal identity is UINT64_MAX, surfaced as 0 only by min()).
+  Histogram merged = populated;
+  merged.merge_from(Histogram({10, 100}));
+  EXPECT_EQ(merged.bucket_counts(), populated.bucket_counts());
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.sum(), 5u + 50 + 7000);
+  EXPECT_EQ(merged.min(), 5u);
+  EXPECT_EQ(merged.max(), 7000u);
+
+  // And the mirror image: empty.merge_from(populated) == populated.
+  Histogram onto({10, 100});
+  onto.merge_from(populated);
+  EXPECT_EQ(onto.bucket_counts(), populated.bucket_counts());
+  EXPECT_EQ(onto.min(), 5u);
+  EXPECT_EQ(onto.max(), 7000u);
+
+  // Two empties stay empty (min() keeps its empty-registry contract).
+  Histogram both({10, 100});
+  both.merge_from(Histogram({10, 100}));
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_EQ(both.min(), 0u);
+  EXPECT_EQ(both.max(), 0u);
+}
+
+TEST(HistogramMerge, OverflowBucketsAccumulate) {
+  Histogram a({10});
+  a.observe(11);
+  a.observe(500);
+  Histogram b({10});
+  b.observe(9999);
+  b.observe(3);
+
+  a.merge_from(b);
+  ASSERT_EQ(a.bucket_counts().size(), 2u);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);  // the 3
+  EXPECT_EQ(a.bucket_counts()[1], 3u);  // 11, 500, 9999 overflow
+  EXPECT_EQ(a.max(), 9999u);
+  EXPECT_EQ(a.min(), 3u);
+  // Overflow percentile reports the true maximum across both sides.
+  EXPECT_EQ(a.percentile(1.0), 9999u);
+}
+
+TEST(HistogramMerge, MismatchedBoundsThrow) {
+  Histogram a({10, 100});
+  Histogram b({10, 1000});
+  EXPECT_THROW(a.merge_from(b), std::logic_error);
+}
+
+TEST(MetricsMerge, RegistryMergeCreatesMissingAndAccumulates) {
+  MetricsRegistry left;
+  left.counter("shared").add(2);
+  left.histogram("h", {10}).observe(5);
+
+  MetricsRegistry right;
+  right.counter("shared").add(3);
+  right.counter("right.only").add(7);
+  right.gauge("depth").set(4);
+  right.histogram("h", {10}).observe(20);       // overflow on merge
+  right.histogram("right.h", {1, 2}).observe(1);
+
+  left.merge_from(right);
+  EXPECT_EQ(left.find_counter("shared")->value(), 5u);
+  EXPECT_EQ(left.find_counter("right.only")->value(), 7u);
+  ASSERT_NE(left.find_histogram("h"), nullptr);
+  EXPECT_EQ(left.find_histogram("h")->count(), 2u);
+  EXPECT_EQ(left.find_histogram("h")->bucket_counts()[1], 1u);
+  ASSERT_NE(left.find_histogram("right.h"), nullptr);
+  EXPECT_EQ(left.find_histogram("right.h")->count(), 1u);
+  EXPECT_EQ(left.gauges().at("depth").value(), 4);
+
+  // Merging an empty registry is the identity on the JSON dump.
+  std::ostringstream before;
+  left.write_json(before);
+  left.merge_from(MetricsRegistry());
+  std::ostringstream after;
+  left.write_json(after);
+  EXPECT_EQ(before.str(), after.str());
 }
 
 // --- Minimal JSON parser (validation only) ---------------------------

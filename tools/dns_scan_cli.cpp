@@ -2,19 +2,22 @@
 // lists against a synthetic-internet snapshot, printing CSV rows for
 // domains with any A/AAAA/HTTPS data (the QUIC-relevant subset).
 //
-//   dns_scan_cli [--week N] [--list NAME] [--https-only] [--seed N]
-//                [--qlog DIR] [--metrics FILE]
+//   dns_scan_cli [--week N] [--list NAME] [--https-only] [--jobs N]
+//                [--seed N] [--qlog DIR] [--metrics FILE]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
-// --seed reseeds the synthetic population; --qlog writes one
-// JSON-Lines trace for the bulk resolution; --metrics dumps the run's
-// counters as JSON on exit.
+// --jobs N shards the domain corpus across N worker threads; the
+// merged CSV and metrics are identical for every N (see DESIGN.md
+// "Sharded campaign engine"). --seed reseeds the synthetic population;
+// --qlog writes one JSON-Lines trace per shard; --metrics dumps the
+// merged counters as JSON on exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 
+#include "engine/engine.h"
 #include "internet/internet.h"
 #include "scanner/dns_scan.h"
 #include "telemetry/metrics.h"
@@ -24,6 +27,7 @@ int main(int argc, char** argv) {
   int week = 18;
   std::string list = "alexa";
   bool https_only = false;
+  int jobs = 1;
   uint64_t seed = 0x9000;
   std::string qlog_dir;
   std::string metrics_file;
@@ -35,6 +39,8 @@ int main(int argc, char** argv) {
       list = argv[++i];
     } else if (arg == "--https-only") {
       https_only = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--qlog" && i + 1 < argc) {
@@ -44,24 +50,20 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: dns_scan_cli [--week N] [--list NAME] "
-                   "[--https-only] [--seed N] [--qlog DIR] "
+                   "[--https-only] [--jobs N] [--seed N] [--qlog DIR] "
                    "[--metrics FILE]\n");
       return 2;
     }
   }
-
-  netsim::EventLoop loop;
-  internet::Internet internet({.seed = seed, .dns_corpus_scale = 0.05}, week,
-                              loop);
-
-  telemetry::MetricsRegistry metrics;
-  loop.set_metrics(&metrics);
-  internet.network().set_metrics(&metrics);
-
-  std::unique_ptr<telemetry::TraceSink> trace;
+  if (jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return 2;
+  }
   if (!qlog_dir.empty()) {
+    // Validate the qlog root up front, on the calling thread, so a bad
+    // path fails with a clear message before any shard work starts.
     try {
-      trace = telemetry::QlogDir(qlog_dir).open("dns_" + list);
+      telemetry::QlogDir probe(qlog_dir);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot create qlog dir %s: %s\n",
                    qlog_dir.c_str(), e.what());
@@ -69,10 +71,67 @@ int main(int argc, char** argv) {
     }
   }
 
-  scanner::DnsScanner dns(
-      internet.zones(), &metrics,
-      telemetry::Tracer(trace.get(), &loop, telemetry::Vantage::kClient));
-  auto scan = dns.scan_list(list, internet.list_corpus(list));
+  engine::CampaignOptions campaign_options;
+  campaign_options.jobs = jobs;
+  campaign_options.seed = seed;
+  campaign_options.week = week;
+  campaign_options.population = {.seed = seed, .dns_corpus_scale = 0.05};
+  campaign_options.qlog_dir = qlog_dir;
+  engine::Campaign campaign(campaign_options);
+
+  // The corpus comes from a planning snapshot; shards rebuild the
+  // identical snapshot privately, so the domain slices line up.
+  std::vector<std::string> corpus;
+  {
+    netsim::EventLoop planning_loop;
+    internet::Internet planning(campaign_options.population, week,
+                                planning_loop);
+    try {
+      corpus = planning.list_corpus(list);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+
+  std::vector<scanner::DnsListScan> shard_scans(static_cast<size_t>(jobs));
+  std::vector<uint64_t> shard_queries(static_cast<size_t>(jobs), 0);
+
+  try {
+    campaign.run(corpus.size(), [&](engine::ShardEnv& env) {
+      std::unique_ptr<telemetry::TraceSink> trace;
+      if (env.trace_factory) trace = env.trace_factory("dns_" + list);
+
+      scanner::DnsScanner dns(
+          env.internet->zones(), env.metrics,
+          telemetry::Tracer(trace.get(), env.loop,
+                            telemetry::Vantage::kClient));
+      shard_scans[static_cast<size_t>(env.shard_index)] = dns.scan_list(
+          list, std::span<const std::string>(corpus.data() + env.range.begin,
+                                             env.range.size()));
+      shard_queries[static_cast<size_t>(env.shard_index)] =
+          dns.queries_sent();
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 2;
+  }
+
+  // Contiguous shards preserve corpus order on concat; aggregate
+  // counts sum across shards.
+  scanner::DnsListScan scan;
+  scan.list = list;
+  uint64_t queries = 0;
+  for (int s = 0; s < jobs; ++s) {
+    auto& shard = shard_scans[static_cast<size_t>(s)];
+    scan.domains_resolved += shard.domains_resolved;
+    scan.with_https_rr += shard.with_https_rr;
+    scan.with_a += shard.with_a;
+    scan.with_aaaa += shard.with_aaaa;
+    for (auto& record : shard.records)
+      scan.records.push_back(std::move(record));
+    queries += shard_queries[static_cast<size_t>(s)];
+  }
 
   std::printf("domain,a,aaaa,https_alpn,ipv4_hints,ipv6_hints\n");
   auto join = [](const auto& items, auto to_string) {
@@ -113,7 +172,7 @@ int main(int argc, char** argv) {
                list.c_str(), scan.domains_resolved, scan.with_a,
                scan.with_aaaa, scan.with_https_rr,
                100.0 * scan.https_rr_rate(),
-               static_cast<unsigned long long>(dns.queries_sent()));
+               static_cast<unsigned long long>(queries));
 
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
@@ -121,7 +180,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
       return 2;
     }
-    metrics.write_json(out);
+    campaign.metrics().write_json(out);
   }
   return 0;
 }

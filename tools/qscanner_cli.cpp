@@ -5,12 +5,16 @@
 // fields.
 //
 //   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
-//                [--seed N] [--qlog DIR] [--metrics FILE]
+//                [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
 // --all scans every ZMap-discoverable IPv4 address without SNI.
-// --qlog writes one JSON-Lines trace per attempt into DIR; --metrics
-// writes the run's counter/histogram summary as JSON on exit.
+// --jobs N shards the campaign across N worker threads (see
+// DESIGN.md "Sharded campaign engine"); the merged CSV and metrics
+// are identical for every N, and --jobs 1 is byte-identical to the
+// historical serial path. --qlog writes one JSON-Lines trace per
+// attempt into DIR (per-shard subdirectories when N > 1); --metrics
+// writes the merged counter/histogram summary as JSON on exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,6 +22,7 @@
 #include <optional>
 #include <string>
 
+#include "engine/engine.h"
 #include "internet/internet.h"
 #include "internet/tp_catalog.h"
 #include "scanner/qscanner.h"
@@ -65,6 +70,16 @@ void print_row(const scanner::QscanResult& result) {
       csv_escape(result.server_header.value_or("")).c_str());
 }
 
+scanner::QscanOptions scan_options(const engine::ShardEnv& env,
+                                   bool send_http) {
+  scanner::QscanOptions options;
+  options.send_http_head = send_http;
+  options.seed = env.seed;
+  options.metrics = env.metrics;
+  options.trace_factory = env.trace_factory;
+  return options;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +87,7 @@ int main(int argc, char** argv) {
   bool scan_all = false;
   bool send_http = true;
   std::string targets_file;
+  int jobs = 1;
   uint64_t seed = 0x5ca9;
   std::string qlog_dir;
   std::string metrics_file;
@@ -86,6 +102,8 @@ int main(int argc, char** argv) {
       send_http = false;
     } else if (arg == "--targets" && i + 1 < argc) {
       targets_file = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--qlog" && i + 1 < argc) {
@@ -95,25 +113,21 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: qscanner_cli [--week N] [--all | --targets FILE] "
-                   "[--no-http] [--seed N] [--qlog DIR] [--metrics FILE]\n");
+                   "[--no-http] [--jobs N] [--seed N] [--qlog DIR] "
+                   "[--metrics FILE]\n");
       return 2;
     }
   }
   if (!scan_all && targets_file.empty()) scan_all = true;
-
-  netsim::EventLoop loop;
-  internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
-
-  // The registry is always attached: the per-outcome stderr summary
-  // reads from it, and --metrics merely dumps it to a file.
-  telemetry::MetricsRegistry metrics;
-  loop.set_metrics(&metrics);
-  internet.network().set_metrics(&metrics);
-
-  std::optional<telemetry::QlogDir> qlog;
+  if (jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return 2;
+  }
   if (!qlog_dir.empty()) {
+    // Validate the qlog root up front, on the calling thread, so a bad
+    // path fails with a clear message before any shard work starts.
     try {
-      qlog.emplace(qlog_dir);
+      telemetry::QlogDir probe(qlog_dir);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot create qlog dir %s: %s\n",
                    qlog_dir.c_str(), e.what());
@@ -121,58 +135,121 @@ int main(int argc, char** argv) {
     }
   }
 
-  scanner::QscanOptions options;
-  options.send_http_head = send_http;
-  options.seed = seed;
-  options.metrics = &metrics;
-  if (qlog) options.trace_factory = qlog->factory();
-  scanner::QScanner qscanner(internet.network(), options);
+  engine::CampaignOptions campaign_options;
+  campaign_options.jobs = jobs;
+  campaign_options.seed = seed;
+  campaign_options.week = week;
+  campaign_options.population = {.dns_corpus_scale = 0.01};
+  campaign_options.qlog_dir = qlog_dir;
+  engine::Campaign campaign(campaign_options);
 
-  std::vector<scanner::QscanTarget> targets;
-  if (scan_all) {
-    scanner::ZmapOptions zmap_options;
-    zmap_options.seed = seed;
-    zmap_options.metrics = &metrics;
-    scanner::ZmapQuicScanner zmap(internet.network(),
-                                  std::move(zmap_options));
-    for (const auto& hit : zmap.scan(internet.zmap_candidates_v4()))
-      targets.push_back({hit.address, std::nullopt, hit.versions});
-  } else {
-    std::ifstream in(targets_file);
-    if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", targets_file.c_str());
-      return 2;
-    }
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty() || line[0] == '#') continue;
-      size_t comma = line.find(',');
-      auto addr = netsim::IpAddress::parse(
-          comma == std::string::npos ? line : line.substr(0, comma));
-      if (!addr) {
-        std::fprintf(stderr, "skipping malformed target: %s\n", line.c_str());
-        continue;
+  // Per-shard output slots: each shard body writes only to its own
+  // index; the engine guarantees exclusive slots and a barrier.
+  std::vector<std::vector<scanner::QscanResult>> shard_rows(
+      static_cast<size_t>(jobs));
+  std::vector<size_t> shard_scanned(static_cast<size_t>(jobs), 0);
+  std::vector<uint64_t> shard_attempts(static_cast<size_t>(jobs), 0);
+
+  std::vector<scanner::QscanResult> rows;
+  try {
+    if (scan_all) {
+      // The ZMap candidate space is the campaign's target list: each
+      // shard sweeps its candidate slice, then runs the stateful
+      // scanner over its own hits -- discovery and handshake stay in
+      // the same shard world, exactly like the serial pipeline.
+      netsim::EventLoop planning_loop;
+      internet::Internet planning(campaign_options.population, week,
+                                  planning_loop);
+      auto candidates = planning.zmap_candidates_v4();
+
+      campaign.run(candidates.size(), [&](engine::ShardEnv& env) {
+        scanner::ZmapOptions zmap_options;
+        zmap_options.seed = env.seed;
+        zmap_options.metrics = env.metrics;
+        scanner::ZmapQuicScanner zmap(env.internet->network(),
+                                      std::move(zmap_options));
+        auto hits = zmap.scan(std::span<const netsim::IpAddress>(
+            candidates.data() + env.range.begin, env.range.size()));
+
+        scanner::QScanner qscanner(env.internet->network(),
+                                   scan_options(env, send_http));
+        auto& rows_out = shard_rows[static_cast<size_t>(env.shard_index)];
+        for (const auto& hit : hits) {
+          scanner::QscanTarget target{hit.address, std::nullopt,
+                                      hit.versions};
+          if (!qscanner.compatible(target)) continue;
+          rows_out.push_back(qscanner.scan_one(target));
+          ++shard_scanned[static_cast<size_t>(env.shard_index)];
+        }
+        shard_attempts[static_cast<size_t>(env.shard_index)] =
+            qscanner.attempts();
+      });
+      // Per-shard rows follow ZMap's address-ordered hit list; hits
+      // across shards are disjoint, so the address merge reproduces
+      // the serial (globally address-sorted) row order for every K.
+      rows = engine::merge_sorted_shards(
+          std::move(shard_rows),
+          [](const scanner::QscanResult& a, const scanner::QscanResult& b) {
+            return a.target.address < b.target.address;
+          });
+    } else {
+      std::ifstream in(targets_file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", targets_file.c_str());
+        return 2;
       }
-      scanner::QscanTarget target;
-      target.address = *addr;
-      if (comma != std::string::npos) target.sni = line.substr(comma + 1);
-      targets.push_back(std::move(target));
+      std::vector<scanner::QscanTarget> targets;
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        size_t comma = line.find(',');
+        auto addr = netsim::IpAddress::parse(
+            comma == std::string::npos ? line : line.substr(0, comma));
+        if (!addr) {
+          std::fprintf(stderr, "skipping malformed target: %s\n",
+                       line.c_str());
+          continue;
+        }
+        scanner::QscanTarget target;
+        target.address = *addr;
+        if (comma != std::string::npos) target.sni = line.substr(comma + 1);
+        targets.push_back(std::move(target));
+      }
+
+      campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+        scanner::QScanner qscanner(env.internet->network(),
+                                   scan_options(env, send_http));
+        auto& rows_out = shard_rows[static_cast<size_t>(env.shard_index)];
+        for (size_t i = env.range.begin; i < env.range.end; ++i) {
+          if (!qscanner.compatible(targets[i])) continue;
+          rows_out.push_back(qscanner.scan_one(targets[i]));
+          ++shard_scanned[static_cast<size_t>(env.shard_index)];
+        }
+        shard_attempts[static_cast<size_t>(env.shard_index)] =
+            qscanner.attempts();
+      });
+      // Contiguous shards preserve the target-file order on concat.
+      rows = engine::concat_shards(std::move(shard_rows));
     }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 2;
   }
 
   std::printf(
       "saddr,sni,outcome,version,alpn,cert_cn,tp_config,initial_max_data,"
       "max_udp_payload,server\n");
-  size_t scanned = 0;
-  for (const auto& target : targets) {
-    if (!qscanner.compatible(target)) continue;
-    auto result = qscanner.scan_one(target);
-    print_row(result);
-    ++scanned;
-  }
+  for (const auto& row : rows) print_row(row);
 
+  size_t scanned = 0;
+  uint64_t attempts = 0;
+  for (int s = 0; s < jobs; ++s) {
+    scanned += shard_scanned[static_cast<size_t>(s)];
+    attempts += shard_attempts[static_cast<size_t>(s)];
+  }
   std::fprintf(stderr, "# scanned %zu targets, %llu attempts\n", scanned,
-               static_cast<unsigned long long>(qscanner.attempts()));
+               static_cast<unsigned long long>(attempts));
+  const auto& metrics = campaign.metrics();
   for (int i = 0; i < 5; ++i) {
     auto name =
         scanner::to_string(static_cast<scanner::QscanOutcome>(i));

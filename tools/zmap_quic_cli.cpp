@@ -4,17 +4,21 @@
 //
 //   zmap_quic_cli [--week N] [--no-padding] [--pps N]
 //                 [--blocklist CIDR[,CIDR...]] [--ipv6] [--csv]
-//                 [--seed N] [--qlog DIR] [--metrics FILE]
+//                 [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
 //
-// --qlog writes one JSON-Lines trace for the whole sweep (the module is
-// stateless, so probes and VN responses share one file); --metrics
-// dumps the run's counters as JSON on exit.
+// --jobs N shards the sweep space across N worker threads, like the
+// real ZMap's sender shards; the merged responder list and metrics are
+// identical for every N (see DESIGN.md "Sharded campaign engine").
+// --qlog writes one JSON-Lines trace per shard (the module is
+// stateless, so each shard's probes and VN responses share one file);
+// --metrics dumps the merged counters as JSON on exit.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 
+#include "engine/engine.h"
 #include "internet/internet.h"
 #include "scanner/zmap.h"
 #include "telemetry/metrics.h"
@@ -26,8 +30,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: zmap_quic_cli [--week N] [--no-padding] [--pps N]\n"
                "                     [--blocklist CIDR[,CIDR...]] [--ipv6]\n"
-               "                     [--csv] [--seed N] [--qlog DIR]\n"
-               "                     [--metrics FILE]\n");
+               "                     [--csv] [--jobs N] [--seed N]\n"
+               "                     [--qlog DIR] [--metrics FILE]\n");
 }
 
 }  // namespace
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   uint64_t pps = 15'000;
   scanner::Blocklist blocklist;
+  int jobs = 1;
   uint64_t seed = 0x2a9a;
   std::string qlog_dir;
   std::string metrics_file;
@@ -47,6 +52,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--week" && i + 1 < argc) {
       week = std::atoi(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--qlog" && i + 1 < argc) {
@@ -82,18 +89,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-
-  netsim::EventLoop loop;
-  internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
-
-  telemetry::MetricsRegistry metrics;
-  loop.set_metrics(&metrics);
-  internet.network().set_metrics(&metrics);
-
-  std::unique_ptr<telemetry::TraceSink> sweep_trace;
+  if (jobs < 1) {
+    std::fprintf(stderr, "--jobs must be >= 1\n");
+    return 2;
+  }
   if (!qlog_dir.empty()) {
+    // Validate the qlog root up front, on the calling thread, so a bad
+    // path fails with a clear message before any shard work starts.
     try {
-      sweep_trace = telemetry::QlogDir(qlog_dir).open("zmap_sweep");
+      telemetry::QlogDir probe(qlog_dir);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot create qlog dir %s: %s\n",
                    qlog_dir.c_str(), e.what());
@@ -101,18 +105,66 @@ int main(int argc, char** argv) {
     }
   }
 
-  scanner::ZmapOptions options;
-  options.pad_to_1200 = padding;
-  options.packets_per_second = pps;
-  options.blocklist = std::move(blocklist);
-  options.seed = seed;
-  options.metrics = &metrics;
-  options.trace_sink = sweep_trace.get();
-  scanner::ZmapQuicScanner zmap(internet.network(), std::move(options));
+  engine::CampaignOptions campaign_options;
+  campaign_options.jobs = jobs;
+  campaign_options.seed = seed;
+  campaign_options.week = week;
+  campaign_options.population = {.dns_corpus_scale = 0.01};
+  campaign_options.qlog_dir = qlog_dir;
+  engine::Campaign campaign(campaign_options);
 
+  // The sweep space comes from a planning snapshot; every shard
+  // rebuilds the identical snapshot privately, so the slices line up.
+  netsim::EventLoop planning_loop;
+  internet::Internet planning(campaign_options.population, week,
+                              planning_loop);
   auto targets =
-      ipv6 ? internet.ipv6_hitlist() : internet.zmap_candidates_v4();
-  auto hits = zmap.scan(targets);
+      ipv6 ? planning.ipv6_hitlist() : planning.zmap_candidates_v4();
+
+  std::vector<std::vector<scanner::ZmapHit>> shard_hits(
+      static_cast<size_t>(jobs));
+  std::vector<scanner::ZmapStats> shard_stats(static_cast<size_t>(jobs));
+
+  try {
+    campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+      std::unique_ptr<telemetry::TraceSink> sweep_trace;
+      if (env.trace_factory) sweep_trace = env.trace_factory("zmap_sweep");
+
+      scanner::ZmapOptions options;
+      options.pad_to_1200 = padding;
+      options.packets_per_second = pps;
+      options.blocklist = blocklist;
+      options.seed = env.seed;
+      options.metrics = env.metrics;
+      options.trace_sink = sweep_trace.get();
+      scanner::ZmapQuicScanner zmap(env.internet->network(),
+                                    std::move(options));
+      shard_hits[static_cast<size_t>(env.shard_index)] =
+          zmap.scan(std::span<const netsim::IpAddress>(
+              targets.data() + env.range.begin, env.range.size()));
+      shard_stats[static_cast<size_t>(env.shard_index)] = zmap.stats();
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "campaign failed: %s\n", e.what());
+    return 2;
+  }
+
+  // Each shard's hit list is address-ordered and shard target sets are
+  // disjoint, so the merge reproduces the serial sweep's order.
+  auto hits = engine::merge_sorted_shards(
+      std::move(shard_hits),
+      [](const scanner::ZmapHit& a, const scanner::ZmapHit& b) {
+        return a.address < b.address;
+      });
+  scanner::ZmapStats stats;
+  for (const auto& shard : shard_stats) {
+    stats.targets += shard.targets;
+    stats.probes_sent += shard.probes_sent;
+    stats.bytes_sent += shard.bytes_sent;
+    stats.responses += shard.responses;
+    stats.malformed += shard.malformed;
+    stats.blocked += shard.blocked;
+  }
 
   if (csv) {
     std::printf("saddr,versions\n");
@@ -134,10 +186,10 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "# probed %llu targets (%llu blocked), %llu probes / %llu "
                "bytes sent, %zu responders\n",
-               static_cast<unsigned long long>(zmap.stats().targets),
-               static_cast<unsigned long long>(zmap.stats().blocked),
-               static_cast<unsigned long long>(zmap.stats().probes_sent),
-               static_cast<unsigned long long>(zmap.stats().bytes_sent),
+               static_cast<unsigned long long>(stats.targets),
+               static_cast<unsigned long long>(stats.blocked),
+               static_cast<unsigned long long>(stats.probes_sent),
+               static_cast<unsigned long long>(stats.bytes_sent),
                hits.size());
 
   if (!metrics_file.empty()) {
@@ -146,7 +198,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", metrics_file.c_str());
       return 2;
     }
-    metrics.write_json(out);
+    campaign.metrics().write_json(out);
   }
   return 0;
 }
