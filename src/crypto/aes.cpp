@@ -140,99 +140,113 @@ std::array<uint8_t, kAesBlockSize> Aes128::encrypt_block(
 
 namespace {
 
-// GF(2^128) multiply, bit-by-bit (right-shift formulation from SP
-// 800-38D). Only used at key setup to build the 4-bit table.
-using Block = std::array<uint8_t, 16>;
-
-Block gf_mult(const Block& x, const Block& y) {
-  Block z{};
-  Block v = y;
-  for (int i = 0; i < 128; ++i) {
-    if (x[i / 8] >> (7 - i % 8) & 1) {
-      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
-    }
-    bool lsb = v[15] & 1;
-    for (int j = 15; j > 0; --j)
-      v[j] = static_cast<uint8_t>(v[j] >> 1 | v[j - 1] << 7);
-    v[0] >>= 1;
-    if (lsb) v[0] ^= 0xe1;
-  }
-  return z;
-}
-
 void put_u64be(uint8_t* p, uint64_t v) {
   for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * (7 - i)));
 }
 
-// Reduction constants for shifting a GHASH state right by 4 bits
-// (Shoup's method): kReduce4[n] = n * x^128 mod the GCM polynomial,
-// folded into the top 16 bits.
-constexpr uint16_t kReduce4[16] = {
-    0x0000, 0x1c20, 0x3840, 0x2460, 0x7080, 0x6ca0, 0x48c0, 0x54e0,
-    0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0};
+// Reduction constants for shifting a GHASH state right by one byte
+// (Shoup's method): kReduce8.t[b] = the fold of dropped byte b back into
+// the top 16 bits of the state. Key-independent, built once per process
+// by simulating eight single-bit right shifts with the 0xe1 fold.
+struct Reduce8 {
+  uint16_t t[256];
+  Reduce8() {
+    for (int b = 0; b < 256; ++b) {
+      uint64_t hi = 0, lo = static_cast<uint64_t>(b);
+      for (int k = 0; k < 8; ++k) {
+        bool bit = lo & 1;
+        lo = lo >> 1 | hi << 63;
+        hi >>= 1;
+        if (bit) hi ^= 0xe1ull << 56;
+      }
+      t[b] = static_cast<uint16_t>(hi >> 48);
+    }
+  }
+};
+
+const Reduce8 kReduce8;
 
 }  // namespace
 
 Aes128Gcm::Aes128Gcm(std::span<const uint8_t> key) : aes_(key) {
   Block zero{};
-  aes_.encrypt_block(zero.data(), h_.data());
-  // htable_[n] = (n << 124 as a GF(2^128) element) * H.
-  for (int n = 0; n < 16; ++n) {
-    Block x{};
-    x[0] = static_cast<uint8_t>(n << 4);
-    htable_[static_cast<size_t>(n)] = gf_mult(x, h_);
+  Block h;
+  aes_.encrypt_block(zero.data(), h.data());
+  // Single-bit entries first: bit 7 of the index byte is x^0, so
+  // htable8_[0x80] = H, and each lower bit is one multiply-by-x (shift
+  // right one bit, folding 0xe1 when the x^127 coefficient drops out).
+  Gf128 v;
+  for (int i = 0; i < 8; ++i)
+    v.hi = v.hi << 8 | h[static_cast<size_t>(i)];
+  for (int i = 8; i < 16; ++i)
+    v.lo = v.lo << 8 | h[static_cast<size_t>(i)];
+  for (int bit = 0x80; bit != 0; bit >>= 1) {
+    htable8_[static_cast<size_t>(bit)] = v;
+    bool lsb = v.lo & 1;
+    v.lo = v.lo >> 1 | v.hi << 63;
+    v.hi >>= 1;
+    if (lsb) v.hi ^= 0xe1ull << 56;
+  }
+  // GF(2^128) multiplication is linear over xor, so every remaining
+  // entry is the xor of its single-bit components.
+  for (int i = 2; i < 256; i <<= 1) {
+    for (int j = 1; j < i; ++j) {
+      htable8_[static_cast<size_t>(i | j)] = {
+          htable8_[static_cast<size_t>(i)].hi ^
+              htable8_[static_cast<size_t>(j)].hi,
+          htable8_[static_cast<size_t>(i)].lo ^
+              htable8_[static_cast<size_t>(j)].lo};
+    }
   }
 }
 
-void Aes128Gcm::ghash_mul(Block& x) const {
-  // Horner evaluation over the 32 nibbles of x, highest exponent first
-  // (low nibble of byte 15): z = (z * x^4) + htable_[nibble] per step,
-  // where the x^4 shift drops 4 bits that fold back via kReduce4.
-  Block z{};
-  bool first = true;
+void Aes128Gcm::ghash_mul(Gf128& x) const {
+  // Horner evaluation over the 16 bytes of x, highest exponent first
+  // (byte 15): z = (z * x^8) + htable8_[byte] per step, where the x^8
+  // shift drops one byte that folds back via kReduce8.
+  uint8_t bytes[16];
+  put_u64be(bytes, x.hi);
+  put_u64be(bytes + 8, x.lo);
+  Gf128 z;
   for (int i = 15; i >= 0; --i) {
-    for (int shift = 0; shift <= 4; shift += 4) {
-      // Low nibble first (shift=0), then high nibble (shift=4).
-      uint8_t nibble =
-          static_cast<uint8_t>((x[static_cast<size_t>(i)] >> shift) & 0xf);
-      if (!first) {
-        uint8_t dropped = z[15] & 0xf;
-        for (int j = 15; j > 0; --j)
-          z[static_cast<size_t>(j)] = static_cast<uint8_t>(
-              z[static_cast<size_t>(j)] >> 4 |
-              z[static_cast<size_t>(j - 1)] << 4);
-        z[0] >>= 4;
-        uint16_t r = kReduce4[dropped];
-        z[0] ^= static_cast<uint8_t>(r >> 8);
-        z[1] ^= static_cast<uint8_t>(r);
-      }
-      first = false;
-      const Block& t = htable_[nibble];
-      for (int j = 0; j < 16; ++j)
-        z[static_cast<size_t>(j)] ^= t[static_cast<size_t>(j)];
+    if (i != 15) {
+      uint8_t dropped = static_cast<uint8_t>(z.lo);
+      z.lo = z.lo >> 8 | z.hi << 56;
+      z.hi >>= 8;
+      z.hi ^= static_cast<uint64_t>(kReduce8.t[dropped]) << 48;
     }
+    const Gf128& t = htable8_[bytes[i]];
+    z.hi ^= t.hi;
+    z.lo ^= t.lo;
   }
   x = z;
 }
 
 Aes128Gcm::Block Aes128Gcm::ghash(std::span<const uint8_t> aad,
                                   std::span<const uint8_t> ct) const {
-  Block y{};
+  Gf128 y;
   auto absorb = [&](std::span<const uint8_t> data) {
     for (size_t off = 0; off < data.size(); off += 16) {
       size_t n = std::min<size_t>(16, data.size() - off);
-      for (size_t i = 0; i < n; ++i) y[i] ^= data[off + i];
+      uint8_t block[16] = {};
+      std::memcpy(block, data.data() + off, n);
+      uint64_t hi = 0, lo = 0;
+      for (int i = 0; i < 8; ++i) hi = hi << 8 | block[i];
+      for (int i = 8; i < 16; ++i) lo = lo << 8 | block[i];
+      y.hi ^= hi;
+      y.lo ^= lo;
       ghash_mul(y);
     }
   };
   absorb(aad);
   absorb(ct);
-  Block lens{};
-  put_u64be(lens.data(), aad.size() * 8);
-  put_u64be(lens.data() + 8, ct.size() * 8);
-  for (int i = 0; i < 16; ++i) y[i] ^= lens[i];
+  y.hi ^= aad.size() * 8;
+  y.lo ^= ct.size() * 8;
   ghash_mul(y);
-  return y;
+  Block out;
+  put_u64be(out.data(), y.hi);
+  put_u64be(out.data() + 8, y.lo);
+  return out;
 }
 
 void Aes128Gcm::ctr_xor(const Block& initial_counter,
@@ -249,43 +263,70 @@ void Aes128Gcm::ctr_xor(const Block& initial_counter,
   }
 }
 
-std::vector<uint8_t> Aes128Gcm::seal(std::span<const uint8_t> nonce,
-                                     std::span<const uint8_t> aad,
-                                     std::span<const uint8_t> plaintext) const {
+Aes128Gcm::Block Aes128Gcm::tag(const Block& j0,
+                                std::span<const uint8_t> aad,
+                                std::span<const uint8_t> ct) const {
+  Block s = ghash(aad, ct);
+  Block ek_j0;
+  aes_.encrypt_block(j0.data(), ek_j0.data());
+  for (size_t i = 0; i < kGcmTagSize; ++i) s[i] ^= ek_j0[i];
+  return s;
+}
+
+void Aes128Gcm::seal_append(std::span<const uint8_t> nonce,
+                            std::span<const uint8_t> aad,
+                            std::span<const uint8_t> plaintext,
+                            std::vector<uint8_t>& out) const {
   if (nonce.size() != kGcmIvSize)
     throw std::invalid_argument("Aes128Gcm: nonce must be 12 bytes");
   Block j0{};
   std::memcpy(j0.data(), nonce.data(), 12);
   j0[15] = 1;
-  std::vector<uint8_t> out(plaintext.size() + kGcmTagSize);
-  ctr_xor(j0, plaintext, out.data());
-  Block s = ghash(aad, {out.data(), plaintext.size()});
-  Block ek_j0;
-  aes_.encrypt_block(j0.data(), ek_j0.data());
-  for (int i = 0; i < 16; ++i)
-    out[plaintext.size() + static_cast<size_t>(i)] = s[static_cast<size_t>(i)] ^ ek_j0[static_cast<size_t>(i)];
+  const size_t base = out.size();
+  out.resize(base + plaintext.size() + kGcmTagSize);
+  ctr_xor(j0, plaintext, out.data() + base);
+  Block t = tag(j0, aad, {out.data() + base, plaintext.size()});
+  std::memcpy(out.data() + base + plaintext.size(), t.data(), kGcmTagSize);
+}
+
+bool Aes128Gcm::open_append(std::span<const uint8_t> nonce,
+                            std::span<const uint8_t> aad,
+                            std::span<const uint8_t> ct_and_tag,
+                            std::vector<uint8_t>& out) const {
+  if (nonce.size() != kGcmIvSize || ct_and_tag.size() < kGcmTagSize)
+    return false;
+  auto ct = ct_and_tag.first(ct_and_tag.size() - kGcmTagSize);
+  auto expected = ct_and_tag.last(kGcmTagSize);
+  Block j0{};
+  std::memcpy(j0.data(), nonce.data(), 12);
+  j0[15] = 1;
+  Block t = tag(j0, aad, ct);
+  uint8_t diff = 0;
+  for (size_t i = 0; i < kGcmTagSize; ++i)
+    diff |= static_cast<uint8_t>(t[i] ^ expected[i]);
+  if (diff != 0) return false;
+  const size_t base = out.size();
+  out.resize(base + ct.size());
+  ctr_xor(j0, ct, out.data() + base);
+  return true;
+}
+
+std::vector<uint8_t> Aes128Gcm::seal(std::span<const uint8_t> nonce,
+                                     std::span<const uint8_t> aad,
+                                     std::span<const uint8_t> plaintext) const {
+  std::vector<uint8_t> out;
+  out.reserve(plaintext.size() + kGcmTagSize);
+  seal_append(nonce, aad, plaintext, out);
   return out;
 }
 
 std::optional<std::vector<uint8_t>> Aes128Gcm::open(
     std::span<const uint8_t> nonce, std::span<const uint8_t> aad,
     std::span<const uint8_t> ct_and_tag) const {
-  if (nonce.size() != kGcmIvSize || ct_and_tag.size() < kGcmTagSize)
-    return std::nullopt;
-  auto ct = ct_and_tag.first(ct_and_tag.size() - kGcmTagSize);
-  auto tag = ct_and_tag.last(kGcmTagSize);
-  Block j0{};
-  std::memcpy(j0.data(), nonce.data(), 12);
-  j0[15] = 1;
-  Block s = ghash(aad, ct);
-  Block ek_j0;
-  aes_.encrypt_block(j0.data(), ek_j0.data());
-  uint8_t diff = 0;
-  for (int i = 0; i < 16; ++i)
-    diff |= static_cast<uint8_t>((s[static_cast<size_t>(i)] ^ ek_j0[static_cast<size_t>(i)]) ^ tag[static_cast<size_t>(i)]);
-  if (diff != 0) return std::nullopt;
-  std::vector<uint8_t> out(ct.size());
-  ctr_xor(j0, ct, out.data());
+  std::vector<uint8_t> out;
+  if (ct_and_tag.size() >= kGcmTagSize)
+    out.reserve(ct_and_tag.size() - kGcmTagSize);
+  if (!open_append(nonce, aad, ct_and_tag, out)) return std::nullopt;
   return out;
 }
 

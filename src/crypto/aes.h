@@ -37,9 +37,32 @@ class Aes128 {
 };
 
 /// AES-128-GCM authenticated encryption. 12-byte nonce, 16-byte tag.
+///
+/// Construction expands the AES key schedule and precomputes a 256-entry
+/// GHASH multiplication table, so contexts are meant to be long-lived:
+/// build one per traffic secret and reuse it for every packet (see
+/// quic::PacketProtector). The append-style seal/open entry points write
+/// into a caller-owned buffer so the steady-state packet path performs
+/// no allocations of its own.
 class Aes128Gcm {
  public:
   explicit Aes128Gcm(std::span<const uint8_t> key);
+
+  /// Appends ciphertext || tag (plaintext.size() + 16 bytes) to `out`.
+  /// `aad` and `plaintext` must not alias `out` unless the caller has
+  /// reserved enough capacity that the append cannot reallocate.
+  void seal_append(std::span<const uint8_t> nonce,
+                   std::span<const uint8_t> aad,
+                   std::span<const uint8_t> plaintext,
+                   std::vector<uint8_t>& out) const;
+
+  /// Appends the plaintext to `out` and returns true, or returns false
+  /// leaving `out` untouched if the tag does not verify. Same aliasing
+  /// contract as seal_append.
+  bool open_append(std::span<const uint8_t> nonce,
+                   std::span<const uint8_t> aad,
+                   std::span<const uint8_t> ciphertext_and_tag,
+                   std::vector<uint8_t>& out) const;
 
   /// Returns ciphertext || tag (plaintext.size() + 16 bytes).
   std::vector<uint8_t> seal(std::span<const uint8_t> nonce,
@@ -53,17 +76,28 @@ class Aes128Gcm {
 
  private:
   using Block = std::array<uint8_t, kAesBlockSize>;
+  // GF(2^128) element in GCM's bit-reflected representation, split into
+  // two big-endian 64-bit lanes (hi = bytes 0..7, lo = bytes 8..15) so
+  // shifts and xors run on words instead of bytes.
+  struct Gf128 {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+  };
+
   Block ghash(std::span<const uint8_t> aad,
               std::span<const uint8_t> ciphertext) const;
-  void ghash_mul(Block& x) const;  // x = x * H via the 4-bit table
+  void ghash_mul(Gf128& x) const;  // x = x * H via the 8-bit table
   void ctr_xor(const Block& initial_counter, std::span<const uint8_t> in,
                uint8_t* out) const;
+  Block tag(const Block& j0, std::span<const uint8_t> aad,
+            std::span<const uint8_t> ciphertext) const;
 
   Aes128 aes_;
-  Block h_{};  // GHASH subkey: AES_K(0^128)
-  // Shoup 4-bit table: htable_[n] = (n as 4-bit poly) * H. Precomputed
-  // per key; turns the 128-step bit loop into 32 table lookups.
-  std::array<Block, 16> htable_{};
+  // Shoup 8-bit table: htable8_[b] = (b as an 8-bit poly, bit 7 = x^0)
+  // * H. Built from 8 shifts plus xors (GF multiplication is linear),
+  // so key setup is far cheaper than the bit-by-bit schoolbook build
+  // and each GHASH block costs 16 lookups instead of 32.
+  std::array<Gf128, 256> htable8_{};
 };
 
 }  // namespace crypto

@@ -1,5 +1,7 @@
 #include "netsim/event_loop.h"
 
+#include <algorithm>
+
 namespace netsim {
 
 void EventLoop::set_metrics(telemetry::MetricsRegistry* metrics) {
@@ -8,35 +10,78 @@ void EventLoop::set_metrics(telemetry::MetricsRegistry* metrics) {
       telemetry::maybe_counter(metrics, "loop.events_cancelled");
 }
 
-TimerId EventLoop::schedule_at(uint64_t at_us, std::function<void()> fn) {
+uint32_t EventLoop::alloc_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    return index;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::free_slot(uint32_t index) {
+  Slot& slot = slots_[index];
+  ++slot.generation;  // invalidates any outstanding TimerId for the slot
+  slot.armed = false;
+  slot.next_free = free_head_;
+  free_head_ = index;
+}
+
+TimerId EventLoop::schedule_at(uint64_t at_us, SmallCallback fn) {
   if (at_us < now_us_) at_us = now_us_;
-  TimerId id = next_id_++;
-  queue_.emplace(std::make_pair(at_us, id), std::move(fn));
-  id_to_time_.emplace(id, at_us);
-  return id;
+  uint32_t index = alloc_slot();
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.armed = true;
+  heap_.push_back({at_us, next_seq_++, index});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return static_cast<TimerId>(slot.generation) << 32 | index;
 }
 
 void EventLoop::cancel(TimerId id) {
-  auto it = id_to_time_.find(id);
-  if (it == id_to_time_.end()) return;
-  queue_.erase({it->second, id});
-  id_to_time_.erase(it);
+  uint32_t index = static_cast<uint32_t>(id);
+  uint32_t generation = static_cast<uint32_t>(id >> 32);
+  if (index >= slots_.size()) return;
+  Slot& slot = slots_[index];
+  if (!slot.armed || slot.generation != generation) return;
+  slot.armed = false;      // tombstone: the heap entry outlives the timer
+  slot.fn.reset();         // release captured resources now, not at pop
+  --live_;
   telemetry::add(events_cancelled_);
+}
+
+void EventLoop::pop_front() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
 }
 
 void EventLoop::run() { run_until(UINT64_MAX); }
 
 void EventLoop::run_until(uint64_t limit_us) {
-  while (!queue_.empty()) {
-    auto it = queue_.begin();
-    if (it->first.first > limit_us) {
+  for (;;) {
+    // Discard tombstones as they surface, regardless of the limit;
+    // cancelled events never advance virtual time.
+    while (!heap_.empty() && !slots_[heap_.front().slot].armed) {
+      uint32_t index = heap_.front().slot;
+      pop_front();
+      free_slot(index);
+    }
+    if (heap_.empty()) break;
+    const Entry& top = heap_.front();
+    if (top.at_us > limit_us) {
       now_us_ = limit_us;
       return;
     }
-    auto fn = std::move(it->second);
-    now_us_ = it->first.first;
-    id_to_time_.erase(it->first.second);
-    queue_.erase(it);
+    uint32_t index = top.slot;
+    now_us_ = top.at_us;
+    // Move the callback out and retire the slot before invoking: the
+    // callback may schedule or cancel freely without aliasing it.
+    SmallCallback fn = std::move(slots_[index].fn);
+    pop_front();
+    free_slot(index);
+    --live_;
     telemetry::add(events_fired_);
     fn();
   }

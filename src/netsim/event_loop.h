@@ -4,12 +4,21 @@
 // virtual microseconds, so results are bit-reproducible and wall-clock
 // independent. The loop doubles as the telemetry clock: every trace
 // event is stamped with this virtual time, never wall time.
+//
+// Implementation: a binary min-heap of plain {time, seq, slot} entries
+// over a slot pool holding the callbacks. cancel() is lazy -- it disarms
+// the slot and leaves a tombstone in the heap that is discarded when it
+// reaches the front -- so neither schedule_at nor cancel touches a
+// balanced tree, and the only per-timer allocation left is whatever the
+// callback itself needs beyond SmallCallback's inline storage.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <new>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -17,6 +26,102 @@
 namespace netsim {
 
 using TimerId = uint64_t;
+
+/// Move-only `void()` callable with inline storage sized for the
+/// netsim hot-path closures (datagram delivery captures two Endpoints
+/// plus a payload vector -- far beyond std::function's small-buffer
+/// budget, which heap-allocated every timer before this type existed).
+/// Larger callables fall back to the heap transparently.
+class SmallCallback {
+ public:
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](SmallCallback& self) { (*self.inline_target<Fn>())(); };
+      move_ = [](SmallCallback& dst, SmallCallback& src) {
+        ::new (static_cast<void*>(dst.storage_))
+            Fn(std::move(*src.inline_target<Fn>()));
+        src.inline_target<Fn>()->~Fn();
+      };
+      destroy_ = [](SmallCallback& self) { self.inline_target<Fn>()->~Fn(); };
+    } else {
+      heap_target() = new Fn(std::forward<F>(f));
+      invoke_ = [](SmallCallback& self) {
+        (*static_cast<Fn*>(self.heap_target()))();
+      };
+      move_ = [](SmallCallback& dst, SmallCallback& src) {
+        dst.heap_target() = src.heap_target();
+      };
+      destroy_ = [](SmallCallback& self) {
+        delete static_cast<Fn*>(self.heap_target());
+      };
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { steal(other); }
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+  ~SmallCallback() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(*this); }
+
+  /// Destroys the held callable (releasing captured resources) and
+  /// returns to the empty state.
+  void reset() {
+    if (invoke_) {
+      destroy_(*this);
+      invoke_ = nullptr;
+    }
+  }
+
+  /// Inline capacity in bytes; closures at or below this size never
+  /// touch the heap.
+  static constexpr size_t inline_size() { return kInlineSize; }
+
+ private:
+  // Sized so EventLoop slots stay two cache lines and the delivery
+  // closure in netsim::Network (this + 2 Endpoints + a vector) fits.
+  static constexpr size_t kInlineSize = 104;
+
+  template <typename Fn>
+  Fn* inline_target() {
+    return std::launder(reinterpret_cast<Fn*>(storage_));
+  }
+  void*& heap_target() {
+    return *std::launder(reinterpret_cast<void**>(storage_));
+  }
+
+  void steal(SmallCallback& other) {
+    if (!other.invoke_) return;
+    other.move_(*this, other);
+    invoke_ = other.invoke_;
+    move_ = other.move_;
+    destroy_ = other.destroy_;
+    other.invoke_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  void (*invoke_)(SmallCallback&) = nullptr;
+  void (*move_)(SmallCallback&, SmallCallback&) = nullptr;
+  void (*destroy_)(SmallCallback&) = nullptr;
+};
 
 class EventLoop : public telemetry::Clock {
  public:
@@ -27,14 +132,16 @@ class EventLoop : public telemetry::Clock {
   void set_metrics(telemetry::MetricsRegistry* metrics);
 
   /// Schedules `fn` to run at absolute virtual time `at_us` (clamped to
-  /// now). Returns an id usable with cancel().
-  TimerId schedule_at(uint64_t at_us, std::function<void()> fn);
+  /// now). Returns an id usable with cancel(); ids are never zero.
+  TimerId schedule_at(uint64_t at_us, SmallCallback fn);
 
-  TimerId schedule_in(uint64_t delay_us, std::function<void()> fn) {
+  TimerId schedule_in(uint64_t delay_us, SmallCallback fn) {
     return schedule_at(now_us_ + delay_us, std::move(fn));
   }
 
-  /// Cancels a pending event; no-op if already fired or cancelled.
+  /// Cancels a pending event; no-op if already fired or cancelled. The
+  /// callback is destroyed immediately (captured resources released);
+  /// the heap entry lingers as a tombstone until it reaches the front.
   void cancel(TimerId id);
 
   /// Runs events in time order until the queue is empty.
@@ -43,14 +150,41 @@ class EventLoop : public telemetry::Clock {
   /// Runs until the queue is empty or virtual time would exceed limit_us.
   void run_until(uint64_t limit_us);
 
-  size_t pending() const { return queue_.size(); }
+  /// Number of scheduled-and-not-yet-fired/cancelled events (tombstones
+  /// excluded).
+  size_t pending() const { return live_; }
 
  private:
-  // Keyed by (time, seq) so same-time events fire in scheduling order.
-  std::map<std::pair<uint64_t, TimerId>, std::function<void()>> queue_;
-  std::map<TimerId, uint64_t> id_to_time_;
+  // Heap entries are 24-byte PODs ordered by (at_us, seq) so same-time
+  // events fire in scheduling order; the callback lives in the slot
+  // pool, untouched by heap sift operations.
+  struct Entry {
+    uint64_t at_us;
+    uint64_t seq;
+    uint32_t slot;
+  };
+  struct Slot {
+    SmallCallback fn;
+    uint32_t generation = 1;  // bumped on free; id 0 is never valid
+    uint32_t next_free = kNoFreeSlot;
+    bool armed = false;
+  };
+  static constexpr uint32_t kNoFreeSlot = UINT32_MAX;
+
+  static bool later(const Entry& a, const Entry& b) {
+    return a.at_us != b.at_us ? a.at_us > b.at_us : a.seq > b.seq;
+  }
+
+  uint32_t alloc_slot();
+  void free_slot(uint32_t index);
+  void pop_front();
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNoFreeSlot;
+  size_t live_ = 0;
+  uint64_t next_seq_ = 0;
   uint64_t now_us_ = 0;
-  TimerId next_id_ = 1;
   telemetry::Counter* events_fired_ = nullptr;
   telemetry::Counter* events_cancelled_ = nullptr;
 };

@@ -11,21 +11,16 @@ namespace {
 
 constexpr uint16_t kSigAlgRsaPssSha256 = 0x0804;
 
-/// Builds the payload of an Initial datagram padded so the protected
-/// datagram reaches `target` bytes (RFC 9000 section 14.1).
-std::vector<uint8_t> pad_initial_payload(std::vector<Frame> frames,
-                                         size_t header_overhead,
-                                         size_t target) {
-  auto payload = encode_frames(frames);
-  size_t protected_size = header_overhead + payload.size() + 16 /* tag */;
-  if (protected_size < target) {
-    Frame padding = PaddingFrame{target - protected_size};
-    wire::Writer w;
-    w.bytes(payload);
-    encode_frame(w, padding);
-    payload = w.take();
-  }
-  return payload;
+/// Appends to `w` the payload of an Initial datagram padded so the
+/// protected datagram reaches `target` bytes (RFC 9000 section 14.1).
+/// Callers pass their reusable frame scratch as `w`.
+void pad_initial_payload_into(std::span<const Frame> frames,
+                              size_t header_overhead, size_t target,
+                              wire::Writer& w) {
+  encode_frames_into(w, frames);
+  size_t protected_size = header_overhead + w.size() + 16 /* tag */;
+  if (protected_size < target)
+    encode_frame(w, PaddingFrame{target - protected_size});
 }
 
 /// Header bytes an Initial long header occupies before the payload,
@@ -171,6 +166,8 @@ void ClientConnection::send_initial_flight() {
       PacketProtector::for_initial(config_.version, dcid_, /*is_server=*/false);
   initial_rx_ =
       PacketProtector::for_initial(config_.version, dcid_, /*is_server=*/true);
+  initial_tx_->set_stats(&hotpath_stats_);
+  initial_rx_->set_stats(&hotpath_stats_);
   handshake_tx_.reset();
   handshake_rx_.reset();
   app_tx_.reset();
@@ -187,12 +184,16 @@ void ClientConnection::send_initial_flight() {
   packet.scid = scid_;
   packet.token = retry_token_;
   packet.packet_number = pn_initial_++;
-  std::vector<Frame> frames{CryptoFrame{0, client_hello_bytes_}};
+  const Frame ch_frame = CryptoFrame{0, client_hello_bytes_};
   size_t overhead =
       initial_header_overhead(dcid_, scid_, client_hello_bytes_.size() + 1100) +
       retry_token_.size();
-  packet.payload =
-      pad_initial_payload(std::move(frames), overhead, kMinInitialDatagramSize);
+  const size_t scratch_cap = frame_scratch_.capacity();
+  frame_scratch_.clear();
+  pad_initial_payload_into({&ch_frame, 1}, overhead, kMinInitialDatagramSize,
+                           frame_scratch_);
+  if (frame_scratch_.capacity() > scratch_cap)
+    hotpath_stats_.alloc_bytes += frame_scratch_.capacity() - scratch_cap;
   if (config_.tracer.active()) {
     config_.tracer.emit(
         telemetry::EventType::kTlsMessage,
@@ -204,7 +205,9 @@ void ClientConnection::send_initial_flight() {
   // State must advance before send_: over a zero-latency loopback the
   // reply can arrive nested inside the send callback.
   state_ = State::kAwaitServerHello;
-  last_initial_datagram_ = initial_tx_->protect(packet);
+  last_initial_datagram_.clear();
+  initial_tx_->protect_into(packet, frame_scratch_.span(),
+                            last_initial_datagram_);
   if (config_.tracer.active())
     config_.tracer.emit(
         telemetry::EventType::kPacketSent,
@@ -308,34 +311,37 @@ void ClientConnection::on_datagram(std::span<const uint8_t> datagram) {
                            {"packet_number", packet.packet_number},
                            {"size", static_cast<uint64_t>(consumed)}});
   };
+  // Each piece decodes into the reusable rx_packet_; process_* copies
+  // everything it keeps out of the payload before any send_, so reuse
+  // is safe even when a reply nests inside the send callback.
   size_t offset = 0;
   while (offset < datagram.size() && state_ != State::kDone) {
     auto piece = peek_datagram(datagram.subspan(offset));
     if (!piece) return;
     size_t piece_start = offset;
-    std::optional<Packet> packet;
+    bool opened = false;
     if (piece->long_header && piece->type == PacketType::kInitial &&
         initial_rx_) {
-      packet = initial_rx_->unprotect(datagram, offset);
-      if (packet) {
-        trace_received(*packet, offset - piece_start);
-        if (!process_initial(*packet)) return;
+      opened = initial_rx_->unprotect_into(datagram, offset, rx_packet_);
+      if (opened) {
+        trace_received(rx_packet_, offset - piece_start);
+        if (!process_initial(rx_packet_)) return;
       }
     } else if (piece->long_header && piece->type == PacketType::kHandshake &&
                handshake_rx_) {
-      packet = handshake_rx_->unprotect(datagram, offset);
-      if (packet) {
-        trace_received(*packet, offset - piece_start);
-        if (!process_handshake(*packet)) return;
+      opened = handshake_rx_->unprotect_into(datagram, offset, rx_packet_);
+      if (opened) {
+        trace_received(rx_packet_, offset - piece_start);
+        if (!process_handshake(rx_packet_)) return;
       }
     } else if (!piece->long_header && app_rx_) {
-      packet = app_rx_->unprotect(datagram, offset);
-      if (packet) {
-        trace_received(*packet, offset - piece_start);
-        process_one_rtt(*packet);
+      opened = app_rx_->unprotect_into(datagram, offset, rx_packet_);
+      if (opened) {
+        trace_received(rx_packet_, offset - piece_start);
+        process_one_rtt(rx_packet_);
       }
     }
-    if (!packet) return;  // undecryptable; drop the rest of the datagram
+    if (!opened) return;  // undecryptable; drop the rest of the datagram
   }
 }
 
@@ -397,6 +403,8 @@ bool ClientConnection::process_initial(const Packet& packet) {
       key_schedule_.client_handshake_secret(), tls::KeyUsage::kQuic));
   handshake_rx_ = PacketProtector(tls::derive_traffic_keys(
       key_schedule_.server_handshake_secret(), tls::KeyUsage::kQuic));
+  handshake_tx_->set_stats(&hotpath_stats_);
+  handshake_rx_->set_stats(&hotpath_stats_);
   config_.tracer.emit(telemetry::EventType::kKeyUpdate,
                       {{"level", "handshake"}});
   state_ = State::kAwaitServerFinished;
@@ -520,19 +528,29 @@ bool ClientConnection::process_handshake(const Packet& packet) {
       key_schedule_.client_application_secret(), tls::KeyUsage::kQuic));
   app_rx_ = PacketProtector(tls::derive_traffic_keys(
       key_schedule_.server_application_secret(), tls::KeyUsage::kQuic));
+  app_tx_->set_stats(&hotpath_stats_);
+  app_rx_->set_stats(&hotpath_stats_);
   config_.tracer.emit(telemetry::EventType::kKeyUpdate,
                       {{"level", "application"}});
 
-  // Client flight: Initial ACK + Handshake Finished.
+  // Client flight: Initial ACK + Handshake Finished (+ optional 1-RTT
+  // request), appended into one datagram via protect_into; each packet's
+  // frames are encoded into the reusable scratch Writer.
   {
+    const size_t scratch_cap = frame_scratch_.capacity();
+    std::vector<uint8_t> datagram;
+
     Packet ack_packet;
     ack_packet.type = PacketType::kInitial;
     ack_packet.version = config_.version;
     ack_packet.dcid = dcid_;
     ack_packet.scid = scid_;
     ack_packet.packet_number = pn_initial_++;
-    ack_packet.payload = encode_frames({AckFrame{0, 0, 0, {}}, PingFrame{}});
-    auto datagram = initial_tx_->protect(ack_packet);
+    frame_scratch_.clear();
+    const Frame initial_frames[] = {AckFrame{0, 0, 0, {}}, PingFrame{}};
+    encode_frames_into(frame_scratch_, initial_frames);
+    initial_tx_->protect_into(ack_packet, frame_scratch_.span(), datagram);
+    size_t initial_size = datagram.size();
 
     tls::Finished fin;
     fin.verify_data = key_schedule_.finished_verify_data(
@@ -543,24 +561,23 @@ bool ClientConnection::process_handshake(const Packet& packet) {
     hs_packet.dcid = dcid_;
     hs_packet.scid = scid_;
     hs_packet.packet_number = pn_handshake_++;
-    hs_packet.payload = encode_frames(
-        {CryptoFrame{0, tls::encode_handshake(fin)}, AckFrame{0, 0, 0, {}}});
-    auto hs_bytes = handshake_tx_->protect(hs_packet);
-    datagram.insert(datagram.end(), hs_bytes.begin(), hs_bytes.end());
+    frame_scratch_.clear();
+    const Frame hs_frames[] = {CryptoFrame{0, tls::encode_handshake(fin)},
+                               AckFrame{0, 0, 0, {}}};
+    encode_frames_into(frame_scratch_, hs_frames);
+    handshake_tx_->protect_into(hs_packet, frame_scratch_.span(), datagram);
+    size_t hs_size = datagram.size() - initial_size;
     if (config_.tracer.active()) {
       config_.tracer.emit(telemetry::EventType::kTlsMessage,
                           {{"message", "finished"}, {"sent", true}});
-      config_.tracer.emit(
-          telemetry::EventType::kPacketSent,
-          {{"packet_type", "initial"},
-           {"packet_number", ack_packet.packet_number},
-           {"size", static_cast<uint64_t>(datagram.size() -
-                                          hs_bytes.size())}});
-      config_.tracer.emit(
-          telemetry::EventType::kPacketSent,
-          {{"packet_type", "handshake"},
-           {"packet_number", hs_packet.packet_number},
-           {"size", static_cast<uint64_t>(hs_bytes.size())}});
+      config_.tracer.emit(telemetry::EventType::kPacketSent,
+                          {{"packet_type", "initial"},
+                           {"packet_number", ack_packet.packet_number},
+                           {"size", static_cast<uint64_t>(initial_size)}});
+      config_.tracer.emit(telemetry::EventType::kPacketSent,
+                          {{"packet_type", "handshake"},
+                           {"packet_number", hs_packet.packet_number},
+                           {"size", static_cast<uint64_t>(hs_size)}});
     }
 
     if (config_.http_request) {
@@ -573,16 +590,20 @@ bool ClientConnection::process_handshake(const Packet& packet) {
       stream.fin = true;
       stream.data.assign(config_.http_request->begin(),
                          config_.http_request->end());
-      req.payload = encode_frames({std::move(stream)});
-      auto req_bytes = app_tx_->protect(req);
+      size_t before = datagram.size();
+      frame_scratch_.clear();
+      const Frame req_frame = std::move(stream);
+      encode_frames_into(frame_scratch_, {&req_frame, 1});
+      app_tx_->protect_into(req, frame_scratch_.span(), datagram);
       if (config_.tracer.active())
         config_.tracer.emit(
             telemetry::EventType::kPacketSent,
             {{"packet_type", "1rtt"},
              {"packet_number", req.packet_number},
-             {"size", static_cast<uint64_t>(req_bytes.size())}});
-      datagram.insert(datagram.end(), req_bytes.begin(), req_bytes.end());
+             {"size", static_cast<uint64_t>(datagram.size() - before)}});
     }
+    if (frame_scratch_.capacity() > scratch_cap)
+      hotpath_stats_.alloc_bytes += frame_scratch_.capacity() - scratch_cap;
     state_ = State::kAwaitHttpResponse;  // before send_: reply may nest
     send_(std::move(datagram));
   }
@@ -659,12 +680,15 @@ void ServerConnection::send_close(uint64_t error_code,
     ConnectionCloseFrame close;
     close.error_code = error_code;
     close.reason_phrase = reason;
-    std::vector<Frame> frames{std::move(close)};
+    const Frame close_frame = std::move(close);
     size_t overhead =
         initial_header_overhead(client_scid_, scid_, reason.size() + 32);
-    packet.payload = pad_initial_payload(std::move(frames), overhead,
-                                         kMinInitialDatagramSize);
-    send_(initial_tx_->protect(packet));
+    frame_scratch_.clear();
+    pad_initial_payload_into({&close_frame, 1}, overhead,
+                             kMinInitialDatagramSize, frame_scratch_);
+    std::vector<uint8_t> datagram;
+    initial_tx_->protect_into(packet, frame_scratch_.span(), datagram);
+    send_(std::move(datagram));
   }
   state_ = State::kClosed;
 }
@@ -711,14 +735,16 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
                                                /*is_server=*/false);
     initial_tx_ = PacketProtector::for_initial(version_, client_dcid_,
                                                /*is_server=*/true);
+    initial_rx_->set_stats(&hotpath_stats_);
+    initial_tx_->set_stats(&hotpath_stats_);
     size_t offset = 0;
-    auto packet = initial_rx_->unprotect(datagram, offset);
-    if (!packet) {
+    if (!initial_rx_->unprotect_into(datagram, offset, rx_packet_)) {
       state_ = State::kClosed;
       return;
     }
+    const Packet& packet = rx_packet_;
     if (behavior_.require_retry) {
-      if (packet->token.empty()) {
+      if (packet.token.empty()) {
         // Stateless Retry: the new CID and token both encode the
         // original DCID so the follow-up Initial can be validated and
         // the authenticating transport parameters filled in.
@@ -739,46 +765,47 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
         state_ = State::kClosed;  // stateless: next Initial = new session
         return;
       }
-      if (packet->token.size() < 2 || packet->token[0] != 'r' ||
-          packet->token[1] != 't') {
+      if (packet.token.size() < 2 || packet.token[0] != 'r' ||
+          packet.token[1] != 't') {
         send_close(0x0b /* INVALID_TOKEN */, "invalid address validation token");
         return;
       }
-      original_dcid_.assign(packet->token.begin() + 2, packet->token.end());
+      original_dcid_.assign(packet.token.begin() + 2, packet.token.end());
       retry_scid_ = client_dcid_;  // the CID our Retry told them to use
     }
-    process_client_initial(*packet);
+    process_client_initial(packet);
     return;
   }
 
-  // Post-Initial: walk coalesced packets.
+  // Post-Initial: walk coalesced packets, decoding each into the
+  // reusable rx_packet_ (process_* copies what it keeps before sending).
   size_t offset = 0;
   while (offset < datagram.size() && state_ != State::kClosed) {
     auto piece = peek_datagram(datagram.subspan(offset));
     if (!piece) return;
-    std::optional<Packet> packet;
+    bool opened = false;
     if (piece->long_header && piece->type == PacketType::kInitial &&
         initial_rx_) {
-      packet = initial_rx_->unprotect(datagram, offset);
+      opened = initial_rx_->unprotect_into(datagram, offset, rx_packet_);
       // A duplicate ClientHello means our flight was lost in transit:
       // retransmit it (server-side PTO behavior). Plain Initial ACKs
       // need no action.
-      if (packet && state_ == State::kAwaitFinished && !last_flight_.empty()) {
+      if (opened && state_ == State::kAwaitFinished && !last_flight_.empty()) {
         try {
-          auto frames = decode_frames(packet->payload);
+          auto frames = decode_frames(rx_packet_.payload);
           if (find_crypto(frames) != nullptr) send_(last_flight_);
         } catch (const wire::DecodeError&) {
         }
       }
     } else if (piece->long_header && piece->type == PacketType::kHandshake &&
                handshake_rx_) {
-      packet = handshake_rx_->unprotect(datagram, offset);
-      if (packet) process_client_handshake(*packet);
+      opened = handshake_rx_->unprotect_into(datagram, offset, rx_packet_);
+      if (opened) process_client_handshake(rx_packet_);
     } else if (!piece->long_header && app_rx_) {
-      packet = app_rx_->unprotect(datagram, offset);
-      if (packet) process_client_one_rtt(*packet);
+      opened = app_rx_->unprotect_into(datagram, offset, rx_packet_);
+      if (opened) process_client_one_rtt(rx_packet_);
     }
-    if (!packet) return;
+    if (!opened) return;
   }
 }
 
@@ -885,6 +912,8 @@ void ServerConnection::process_client_initial(const Packet& packet) {
       tls::derive_traffic_keys(server_hs_secret_, tls::KeyUsage::kQuic));
   handshake_rx_ = PacketProtector(
       tls::derive_traffic_keys(client_hs_secret_, tls::KeyUsage::kQuic));
+  handshake_tx_->set_stats(&hotpath_stats_);
+  handshake_rx_->set_stats(&hotpath_stats_);
 
   // EncryptedExtensions with server transport parameters.
   tls::EncryptedExtensions ee;
@@ -941,17 +970,24 @@ void ServerConnection::process_client_initial(const Packet& packet) {
       key_schedule_.server_application_secret(), tls::KeyUsage::kQuic));
   app_rx_ = PacketProtector(tls::derive_traffic_keys(
       key_schedule_.client_application_secret(), tls::KeyUsage::kQuic));
+  app_tx_->set_stats(&hotpath_stats_);
+  app_rx_->set_stats(&hotpath_stats_);
 
-  // Transmit: Initial(ACK + SH) coalesced with Handshake(EE..Fin).
+  // Transmit: Initial(ACK + SH) coalesced with Handshake(EE..Fin),
+  // appended into one datagram via protect_into.
+  std::vector<uint8_t> datagram;
   Packet init;
   init.type = PacketType::kInitial;
   init.version = version_;
   init.dcid = client_scid_;
   init.scid = scid_;
   init.packet_number = pn_initial_++;
-  init.payload = encode_frames(
-      {AckFrame{packet.packet_number, 0, 0, {}}, CryptoFrame{0, sh_bytes}});
-  auto datagram = initial_tx_->protect(init);
+  frame_scratch_.clear();
+  const Frame init_frames[] = {AckFrame{packet.packet_number, 0, 0, {}},
+                               CryptoFrame{0, sh_bytes}};
+  encode_frames_into(frame_scratch_, init_frames);
+  initial_tx_->protect_into(init, frame_scratch_.span(), datagram);
+  size_t initial_size = datagram.size();
 
   std::vector<uint8_t> flight;
   flight.insert(flight.end(), ee_bytes.begin(), ee_bytes.end());
@@ -964,9 +1000,10 @@ void ServerConnection::process_client_initial(const Packet& packet) {
   hs.dcid = client_scid_;
   hs.scid = scid_;
   hs.packet_number = pn_handshake_++;
-  hs.payload = encode_frames({CryptoFrame{0, std::move(flight)}});
-  auto hs_bytes_out = handshake_tx_->protect(hs);
-  datagram.insert(datagram.end(), hs_bytes_out.begin(), hs_bytes_out.end());
+  frame_scratch_.clear();
+  const Frame hs_frame = CryptoFrame{0, std::move(flight)};
+  encode_frames_into(frame_scratch_, {&hs_frame, 1});
+  handshake_tx_->protect_into(hs, frame_scratch_.span(), datagram);
   if (tracer_.active()) {
     tracer_.emit(telemetry::EventType::kKeyUpdate,
                  {{"level", "application"}});
@@ -974,12 +1011,12 @@ void ServerConnection::process_client_initial(const Packet& packet) {
         telemetry::EventType::kPacketSent,
         {{"packet_type", "initial"},
          {"packet_number", init.packet_number},
-         {"size",
-          static_cast<uint64_t>(datagram.size() - hs_bytes_out.size())}});
-    tracer_.emit(telemetry::EventType::kPacketSent,
-                 {{"packet_type", "handshake"},
-                  {"packet_number", hs.packet_number},
-                  {"size", static_cast<uint64_t>(hs_bytes_out.size())}});
+         {"size", static_cast<uint64_t>(initial_size)}});
+    tracer_.emit(
+        telemetry::EventType::kPacketSent,
+        {{"packet_type", "handshake"},
+         {"packet_number", hs.packet_number},
+         {"size", static_cast<uint64_t>(datagram.size() - initial_size)}});
   }
   state_ = State::kAwaitFinished;  // before send_: reply may nest
   last_flight_ = datagram;

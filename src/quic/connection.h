@@ -93,6 +93,11 @@ class ClientConnection {
   bool finished() const { return report_.result != ConnectResult::kPending; }
   const ClientReport& report() const { return report_; }
 
+  /// Per-attempt hot-path accounting: scratch-buffer growth and AEAD
+  /// context reuse across this connection's packets. Scanners fold this
+  /// into the `hotpath.*` telemetry counters after each attempt.
+  const HotpathStats& hotpath_stats() const { return hotpath_stats_; }
+
  private:
   void send_initial_flight();
   void process_version_negotiation(const VersionNegotiationPacket& vn);
@@ -131,6 +136,14 @@ class ClientConnection {
   } state_ = State::kIdle;
   uint64_t pn_initial_ = 0, pn_handshake_ = 0, pn_app_ = 0;
   std::vector<uint8_t> handshake_crypto_buffer_;
+
+  // Hot-path scratch, reused across every packet of the attempt: frame
+  // encoding writes into frame_scratch_ (cleared, capacity kept) and
+  // unprotect decodes into rx_packet_'s buffers. Steady-state packets
+  // therefore allocate nothing beyond the datagram handed to send_.
+  HotpathStats hotpath_stats_;
+  wire::Writer frame_scratch_;
+  Packet rx_packet_;
 };
 
 /// --- Server side -----------------------------------------------------
@@ -223,6 +236,11 @@ class ServerConnection {
   State state_ = State::kAwaitInitial;
   std::vector<uint8_t> last_flight_;  // server flight, for retransmission
   uint64_t pn_initial_ = 0, pn_handshake_ = 0, pn_app_ = 0;
+
+  // Hot-path scratch mirroring ClientConnection's (see there).
+  HotpathStats hotpath_stats_;
+  wire::Writer frame_scratch_;
+  Packet rx_packet_;
 };
 
 }  // namespace quic

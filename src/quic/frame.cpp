@@ -61,9 +61,13 @@ void encode_frame(wire::Writer& w, const Frame& frame) {
       frame);
 }
 
+void encode_frames_into(wire::Writer& w, std::span<const Frame> frames) {
+  for (const auto& f : frames) encode_frame(w, f);
+}
+
 std::vector<uint8_t> encode_frames(const std::vector<Frame>& frames) {
   wire::Writer w;
-  for (const auto& f : frames) encode_frame(w, f);
+  encode_frames_into(w, frames);
   return w.take();
 }
 

@@ -88,6 +88,11 @@ constexpr bool is_crypto_error(uint64_t code) {
 void encode_frame(wire::Writer& w, const Frame& frame);
 std::vector<uint8_t> encode_frames(const std::vector<Frame>& frames);
 
+/// Appends the frames' encoding to `w` without clearing it. Hot paths
+/// keep one Writer per connection and call w.clear() between packets so
+/// frame encoding reuses the same allocation for a whole handshake.
+void encode_frames_into(wire::Writer& w, std::span<const Frame> frames);
+
 /// Decodes all frames in a packet payload; consecutive PADDING bytes
 /// collapse into one PaddingFrame. Throws wire::DecodeError on unknown
 /// frame types or malformed contents.

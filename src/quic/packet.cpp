@@ -148,132 +148,172 @@ PacketProtector PacketProtector::for_initial(
                                                   tls::KeyUsage::kQuic));
 }
 
-std::vector<uint8_t> PacketProtector::nonce_for(uint64_t pn) const {
-  std::vector<uint8_t> nonce = iv_;
+std::array<uint8_t, crypto::kGcmIvSize> PacketProtector::nonce_for(
+    uint64_t pn) const {
+  std::array<uint8_t, crypto::kGcmIvSize> nonce;
+  std::memcpy(nonce.data(), iv_.data(), crypto::kGcmIvSize);
   for (int i = 0; i < 8; ++i)
     nonce[nonce.size() - 1 - static_cast<size_t>(i)] ^=
         static_cast<uint8_t>(pn >> (8 * i));
   return nonce;
 }
 
-std::vector<uint8_t> PacketProtector::protect(const Packet& packet) const {
+void PacketProtector::note_aead_use() const {
+  if (aead_used_) {
+    if (stats_) ++stats_->aead_ctx_reuse;
+  } else {
+    aead_used_ = true;
+  }
+}
+
+void PacketProtector::protect_into(const Packet& packet,
+                                   std::span<const uint8_t> payload,
+                                   std::vector<uint8_t>& out) const {
   // Header protection samples 16 bytes of ciphertext starting
   // 4 - pn_len bytes into it, so the plaintext payload must be at least
   // 4 bytes; real stacks append PADDING frames exactly like this
   // (RFC 9001 section 5.4.2).
-  Packet padded;
-  const Packet* p = &packet;
-  if (packet.payload.size() < 4) {
-    padded = packet;
-    padded.payload.resize(4, 0);  // 0x00 == PADDING
-    p = &padded;
+  uint8_t pad[4] = {};  // 0x00 == PADDING
+  if (payload.size() < 4) {
+    if (!payload.empty()) std::memcpy(pad, payload.data(), payload.size());
+    payload = {pad, 4};
   }
-  return protect_padded(*p);
-}
 
-std::vector<uint8_t> PacketProtector::protect_padded(
-    const Packet& packet) const {
-  wire::Writer w;
+  const size_t base = out.size();
+  const size_t cap_before = out.capacity();
   size_t pn_offset;
   if (packet.type == PacketType::kOneRtt) {
     // Short header: 0b01000000 | key phase 0 | pn_len-1.
-    w.u8(0x40 | (kPnLen - 1));
-    w.bytes(packet.dcid);
-    pn_offset = w.size();
+    wire::append_u8(out, 0x40 | (kPnLen - 1));
+    wire::append_bytes(out, packet.dcid);
+    pn_offset = out.size() - base;
   } else {
     uint8_t first = static_cast<uint8_t>(
         0x80 | 0x40 | (long_type_bits(packet.type) << 4) | (kPnLen - 1));
-    w.u8(first);
-    w.u32(packet.version);
-    w.u8(static_cast<uint8_t>(packet.dcid.size()));
-    w.bytes(packet.dcid);
-    w.u8(static_cast<uint8_t>(packet.scid.size()));
-    w.bytes(packet.scid);
+    wire::append_u8(out, first);
+    wire::append_u32(out, packet.version);
+    wire::append_u8(out, static_cast<uint8_t>(packet.dcid.size()));
+    wire::append_bytes(out, packet.dcid);
+    wire::append_u8(out, static_cast<uint8_t>(packet.scid.size()));
+    wire::append_bytes(out, packet.scid);
     if (packet.type == PacketType::kInitial) {
-      w.varint(packet.token.size());
-      w.bytes(packet.token);
+      wire::append_varint(out, packet.token.size());
+      wire::append_bytes(out, packet.token);
     }
     // Length covers packet number + sealed payload.
-    w.varint(kPnLen + packet.payload.size() + crypto::kGcmTagSize);
-    pn_offset = w.size();
+    wire::append_varint(out, kPnLen + payload.size() + crypto::kGcmTagSize);
+    pn_offset = out.size() - base;
   }
-  w.u16(static_cast<uint16_t>(packet.packet_number));
+  wire::append_u16(out, static_cast<uint16_t>(packet.packet_number));
 
-  // AEAD: AAD is the whole header, nonce is iv XOR pn.
-  auto header = w.take();
-  auto sealed =
-      aead_.seal(nonce_for(packet.packet_number), header, packet.payload);
+  // AEAD: AAD is the whole header, nonce is iv XOR pn. The AAD span
+  // aliases `out`, so reserve the final size first — seal_append must
+  // not reallocate underneath it.
+  out.reserve(out.size() + payload.size() + crypto::kGcmTagSize);
+  std::span<const uint8_t> header(out.data() + base, out.size() - base);
+  note_aead_use();
+  aead_.seal_append(nonce_for(packet.packet_number), header, payload, out);
 
   // Header protection (RFC 9001 section 5.4): sample 16 bytes of
   // ciphertext starting 4 - pn_len bytes after the pn field.
-  std::vector<uint8_t> out = std::move(header);
-  out.insert(out.end(), sealed.begin(), sealed.end());
   size_t sample_at = pn_offset + 4;
-  if (sample_at + kHpSampleSize > out.size())
+  if (base + sample_at + kHpSampleSize > out.size())
     throw std::invalid_argument("packet too short to header-protect");
   auto mask = hp_.encrypt_block(
-      std::span<const uint8_t>(out.data() + sample_at, kHpSampleSize));
-  out[0] ^= mask[0] & (out[0] & 0x80 ? 0x0f : 0x1f);
-  for (size_t i = 0; i < kPnLen; ++i) out[pn_offset + i] ^= mask[1 + i];
+      std::span<const uint8_t>(out.data() + base + sample_at, kHpSampleSize));
+  out[base] ^= mask[0] & (out[base] & 0x80 ? 0x0f : 0x1f);
+  for (size_t i = 0; i < kPnLen; ++i)
+    out[base + pn_offset + i] ^= mask[1 + i];
+  if (stats_ && out.capacity() > cap_before)
+    stats_->alloc_bytes += out.capacity() - cap_before;
+}
+
+std::vector<uint8_t> PacketProtector::protect(const Packet& packet) const {
+  std::vector<uint8_t> out;
+  protect_into(packet, packet.payload, out);
   return out;
 }
 
-std::optional<Packet> PacketProtector::unprotect(
-    std::span<const uint8_t> datagram, size_t& offset) const {
+bool PacketProtector::unprotect_into(std::span<const uint8_t> datagram,
+                                     size_t& offset, Packet& out) const {
   try {
     auto remaining = datagram.subspan(offset);
     wire::Reader r(remaining);
-    Packet packet;
+    out.version = kVersion1;
+    out.token.clear();
+    out.scid.clear();
     uint8_t first = r.u8();
     size_t pn_offset;
     size_t sealed_len;
     if (first & 0x80) {
-      packet.version = r.u32();
-      packet.type = type_from_bits(first >> 4);
-      packet.dcid = r.bytes_copy(r.u8());
-      packet.scid = r.bytes_copy(r.u8());
-      if (packet.type == PacketType::kInitial)
-        packet.token = r.bytes_copy(r.varint());
+      out.version = r.u32();
+      out.type = type_from_bits(first >> 4);
+      auto dcid = r.bytes(r.u8());
+      out.dcid.assign(dcid.begin(), dcid.end());
+      auto scid = r.bytes(r.u8());
+      out.scid.assign(scid.begin(), scid.end());
+      if (out.type == PacketType::kInitial) {
+        auto token = r.bytes(r.varint());
+        out.token.assign(token.begin(), token.end());
+      }
       uint64_t length = r.varint();
       pn_offset = r.position();
       if (length < kPnLen + crypto::kGcmTagSize || length > r.remaining())
-        return std::nullopt;
+        return false;
       sealed_len = static_cast<size_t>(length) - kPnLen;
     } else {
-      packet.type = PacketType::kOneRtt;
-      packet.dcid = r.bytes_copy(8);
+      out.type = PacketType::kOneRtt;
+      auto dcid = r.bytes(8);
+      out.dcid.assign(dcid.begin(), dcid.end());
       pn_offset = r.position();
-      if (r.remaining() < kPnLen + crypto::kGcmTagSize) return std::nullopt;
+      if (r.remaining() < kPnLen + crypto::kGcmTagSize) return false;
       sealed_len = r.remaining() - kPnLen;
     }
 
     // Undo header protection.
     size_t sample_at = pn_offset + 4;
-    if (sample_at + kHpSampleSize > remaining.size()) return std::nullopt;
+    if (sample_at + kHpSampleSize > remaining.size()) return false;
     auto mask = hp_.encrypt_block(remaining.subspan(sample_at, kHpSampleSize));
-    std::vector<uint8_t> header(remaining.begin(),
-                                remaining.begin() +
-                                    static_cast<long>(pn_offset + kPnLen));
+    const size_t header_cap = scratch_header_.capacity();
+    scratch_header_.assign(remaining.begin(),
+                           remaining.begin() +
+                               static_cast<long>(pn_offset + kPnLen));
+    auto& header = scratch_header_;
     header[0] ^= mask[0] & (header[0] & 0x80 ? 0x0f : 0x1f);
     size_t pn_len = (header[0] & 0x03) + 1u;
-    if (pn_len != kPnLen) return std::nullopt;  // peer must use our encoding
+    if (pn_len != kPnLen) return false;  // peer must use our encoding
     uint64_t pn = 0;
     for (size_t i = 0; i < kPnLen; ++i) {
       header[pn_offset + i] ^= mask[1 + i];
       pn = pn << 8 | header[pn_offset + i];
     }
     // Truncated pn == full pn: simulated handshakes stay far below 2^16.
-    packet.packet_number = pn;
+    out.packet_number = pn;
 
     auto sealed = remaining.subspan(pn_offset + kPnLen, sealed_len);
-    auto payload = aead_.open(nonce_for(pn), header, sealed);
-    if (!payload) return std::nullopt;
-    packet.payload = std::move(*payload);
+    const size_t payload_cap = out.payload.capacity();
+    out.payload.clear();
+    note_aead_use();
+    if (!aead_.open_append(nonce_for(pn), header, sealed, out.payload))
+      return false;
+    if (stats_) {
+      if (scratch_header_.capacity() > header_cap)
+        stats_->alloc_bytes += scratch_header_.capacity() - header_cap;
+      if (out.payload.capacity() > payload_cap)
+        stats_->alloc_bytes += out.payload.capacity() - payload_cap;
+    }
     offset += pn_offset + kPnLen + sealed_len;
-    return packet;
+    return true;
   } catch (const wire::DecodeError&) {
-    return std::nullopt;
+    return false;
   }
+}
+
+std::optional<Packet> PacketProtector::unprotect(
+    std::span<const uint8_t> datagram, size_t& offset) const {
+  Packet packet;
+  if (!unprotect_into(datagram, offset, packet)) return std::nullopt;
+  return packet;
 }
 
 namespace {
@@ -312,6 +352,32 @@ RetryKeys retry_keys(Version version) {
   return {kKeyV1, kNonceV1};
 }
 
+/// Long-lived AEAD context for the version family's Retry integrity
+/// key. The keys are protocol constants, so the key schedule and GHASH
+/// table are built exactly once per family per process instead of per
+/// Retry packet (the old code rebuilt both on every tag). Magic statics
+/// make initialization thread-safe; the contexts are immutable
+/// afterwards, so shard threads share them freely.
+const crypto::Aes128Gcm& retry_aead(Version version) {
+  auto make = [](Version v) {
+    return crypto::Aes128Gcm(
+        std::span<const uint8_t>(retry_keys(v).key, 16));
+  };
+  if (is_ietf_draft(version)) {
+    int n = static_cast<int>(version & 0xff);
+    if (n < 29) {
+      static const crypto::Aes128Gcm kGcmD25 = make(draft_version(25));
+      return kGcmD25;
+    }
+    if (n < 33) {
+      static const crypto::Aes128Gcm kGcmD29 = make(draft_version(29));
+      return kGcmD29;
+    }
+  }
+  static const crypto::Aes128Gcm kGcmV1 = make(kVersion1);
+  return kGcmV1;
+}
+
 /// Retry packet bytes without the tag, given the header fields.
 std::vector<uint8_t> retry_header(const RetryPacket& retry) {
   wire::Writer w;
@@ -335,9 +401,8 @@ std::array<uint8_t, 16> retry_tag(std::span<const uint8_t> header,
   pseudo.bytes(odcid);
   pseudo.bytes(header);
   auto keys = retry_keys(version);
-  crypto::Aes128Gcm gcm(std::span<const uint8_t>(keys.key, 16));
-  auto sealed = gcm.seal(std::span<const uint8_t>(keys.nonce, 12),
-                         pseudo.span(), {});
+  auto sealed = retry_aead(version).seal(
+      std::span<const uint8_t>(keys.nonce, 12), pseudo.span(), {});
   std::array<uint8_t, 16> tag{};
   std::copy(sealed.begin(), sealed.end(), tag.begin());
   return tag;

@@ -5,6 +5,7 @@
 // UDP payload) are supported by the incremental unprotect API.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -85,7 +86,22 @@ InitialSecrets derive_initial_secrets(Version version,
 
 /// --- Packet protection ----------------------------------------------------
 
+/// Running totals for the per-attempt hot path, owned by whoever drives
+/// a connection (the scanner attempt) and surfaced through telemetry as
+/// `hotpath.alloc_bytes` / `hotpath.aead_ctx_reuse`. alloc_bytes counts
+/// capacity growth of the reusable scratch buffers — zero growth in
+/// steady state means the packet path ran allocation-free.
+struct HotpathStats {
+  uint64_t alloc_bytes = 0;
+  uint64_t aead_ctx_reuse = 0;
+};
+
 /// Seals/opens packets for one direction of one encryption level.
+///
+/// Construction derives the AES key schedules and the GHASH table once;
+/// the protector is then reused for every packet of its level, which is
+/// the AEAD-context-lifetime half of the hot-path contract (the other
+/// half is the append-into-caller-buffer API below).
 class PacketProtector {
  public:
   explicit PacketProtector(const tls::TrafficKeys& keys);
@@ -95,9 +111,27 @@ class PacketProtector {
                                      std::span<const uint8_t> client_dcid,
                                      bool is_server);
 
-  /// Serializes, seals and header-protects `packet`. Packet numbers are
-  /// encoded in 2 bytes (ample for simulated handshakes).
+  /// Points hot-path accounting at `stats` (may be nullptr to detach).
+  void set_stats(HotpathStats* stats) { stats_ = stats; }
+
+  /// Serializes, seals and header-protects `packet`, appending the
+  /// protected bytes to `out` — append again to coalesce several
+  /// packets into one datagram. `payload` is the plaintext frame bytes
+  /// (packet.payload is ignored) and must not alias `out`. Packet
+  /// numbers are encoded in 2 bytes (ample for simulated handshakes).
+  void protect_into(const Packet& packet, std::span<const uint8_t> payload,
+                    std::vector<uint8_t>& out) const;
+
+  /// Serializes, seals and header-protects `packet`.
   std::vector<uint8_t> protect(const Packet& packet) const;
+
+  /// Opens the packet starting at `offset` within `datagram` into
+  /// `out`, reusing out's buffers (dcid/scid/token/payload keep their
+  /// capacity across calls); on success advances `offset` past it
+  /// (coalesced packet support). Returns false on authentication
+  /// failure or malformed input, leaving `out` unspecified.
+  bool unprotect_into(std::span<const uint8_t> datagram, size_t& offset,
+                      Packet& out) const;
 
   /// Opens the packet starting at `offset` within `datagram`; on
   /// success advances `offset` past it (coalesced packet support).
@@ -106,11 +140,17 @@ class PacketProtector {
                                   size_t& offset) const;
 
  private:
-  std::vector<uint8_t> protect_padded(const Packet& packet) const;
-  std::vector<uint8_t> nonce_for(uint64_t packet_number) const;
+  std::array<uint8_t, crypto::kGcmIvSize> nonce_for(
+      uint64_t packet_number) const;
+  void note_aead_use() const;
+
   crypto::Aes128Gcm aead_;
   crypto::Aes128 hp_;
   std::vector<uint8_t> iv_;
+  HotpathStats* stats_ = nullptr;
+  mutable bool aead_used_ = false;
+  // Unmasked-header copy reused across unprotect calls (the AEAD's AAD).
+  mutable std::vector<uint8_t> scratch_header_;
 };
 
 inline constexpr size_t kMinInitialDatagramSize = 1200;  // RFC 9000 s. 14.1

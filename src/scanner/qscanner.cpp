@@ -37,6 +37,10 @@ QScanner::QScanner(netsim::Network& network, QscanOptions options)
   metric_bytes_per_attempt_ = telemetry::maybe_histogram(
       metrics, "qscan.bytes_per_attempt",
       {1'500, 3'000, 6'000, 12'000, 24'000, 48'000});
+  metric_hotpath_alloc_bytes_ =
+      telemetry::maybe_counter(metrics, "hotpath.alloc_bytes");
+  metric_hotpath_aead_reuse_ =
+      telemetry::maybe_counter(metrics, "hotpath.aead_ctx_reuse");
 }
 
 bool QScanner::compatible(const QscanTarget& target) const {
@@ -198,6 +202,10 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
                      network_.datagrams_sent() - start_datagrams);
   telemetry::observe(metric_bytes_per_attempt_,
                      network_.bytes_sent() - start_bytes);
+  telemetry::add(metric_hotpath_alloc_bytes_,
+                 connection.hotpath_stats().alloc_bytes);
+  telemetry::add(metric_hotpath_aead_reuse_,
+                 connection.hotpath_stats().aead_ctx_reuse);
   return result;
 }
 

@@ -96,6 +96,12 @@ class QScanner {
   telemetry::Histogram* metric_handshake_rtt_ = nullptr;
   telemetry::Histogram* metric_packets_per_attempt_ = nullptr;
   telemetry::Histogram* metric_bytes_per_attempt_ = nullptr;
+  /// Hot-path accounting folded from each attempt's connection (see
+  /// quic::HotpathStats): scratch-buffer capacity growth and AEAD
+  /// context reuse. alloc_bytes staying flat across attempts means the
+  /// packet path runs allocation-free in steady state.
+  telemetry::Counter* metric_hotpath_alloc_bytes_ = nullptr;
+  telemetry::Counter* metric_hotpath_aead_reuse_ = nullptr;
 };
 
 }  // namespace scanner

@@ -1,16 +1,23 @@
 #include "tls/record.h"
 
+#include <cstring>
+
 #include "crypto/aes.h"
 
 namespace tls {
 
+void encode_record_into(const Record& record, std::vector<uint8_t>& out) {
+  wire::append_u8(out, static_cast<uint8_t>(record.type));
+  wire::append_u16(out, record.legacy_version);
+  wire::append_u16(out, static_cast<uint16_t>(record.payload.size()));
+  wire::append_bytes(out, record.payload);
+}
+
 std::vector<uint8_t> encode_record(const Record& record) {
-  wire::Writer w;
-  w.u8(static_cast<uint8_t>(record.type));
-  w.u16(record.legacy_version);
-  w.u16(static_cast<uint16_t>(record.payload.size()));
-  w.bytes(record.payload);
-  return w.take();
+  std::vector<uint8_t> out;
+  out.reserve(5 + record.payload.size());
+  encode_record_into(record, out);
+  return out;
 }
 
 std::vector<Record> decode_records(std::span<const uint8_t> stream) {
@@ -29,28 +36,37 @@ std::vector<Record> decode_records(std::span<const uint8_t> stream) {
 RecordCrypter::RecordCrypter(const TrafficKeys& keys)
     : gcm_(keys.key), iv_(keys.iv) {}
 
-std::vector<uint8_t> RecordCrypter::nonce_for(uint64_t seq) const {
-  std::vector<uint8_t> nonce = iv_;
+std::array<uint8_t, crypto::kGcmIvSize> RecordCrypter::nonce_for(
+    uint64_t seq) const {
+  std::array<uint8_t, crypto::kGcmIvSize> nonce;
+  std::memcpy(nonce.data(), iv_.data(), crypto::kGcmIvSize);
   for (int i = 0; i < 8; ++i)
     nonce[nonce.size() - 1 - static_cast<size_t>(i)] ^=
         static_cast<uint8_t>(seq >> (8 * i));
   return nonce;
 }
 
+void RecordCrypter::seal_into(ContentType inner_type,
+                              std::span<const uint8_t> payload,
+                              std::vector<uint8_t>& out) {
+  scratch_inner_.assign(payload.begin(), payload.end());
+  scratch_inner_.push_back(static_cast<uint8_t>(inner_type));
+  // Additional data is the record header with the ciphertext length,
+  // which is also the plaintext record header we emit.
+  size_t ct_len = scratch_inner_.size() + crypto::kGcmTagSize;
+  uint8_t header[5] = {static_cast<uint8_t>(ContentType::kApplicationData),
+                       0x03, 0x03, static_cast<uint8_t>(ct_len >> 8),
+                       static_cast<uint8_t>(ct_len)};
+  wire::append_bytes(out, header);
+  gcm_.seal_append(nonce_for(seal_seq_++), header, scratch_inner_, out);
+}
+
 std::vector<uint8_t> RecordCrypter::seal(ContentType inner_type,
                                          std::span<const uint8_t> payload) {
-  std::vector<uint8_t> inner(payload.begin(), payload.end());
-  inner.push_back(static_cast<uint8_t>(inner_type));
-  // Additional data is the record header with the ciphertext length.
-  size_t ct_len = inner.size() + crypto::kGcmTagSize;
-  uint8_t aad[5] = {static_cast<uint8_t>(ContentType::kApplicationData), 0x03,
-                    0x03, static_cast<uint8_t>(ct_len >> 8),
-                    static_cast<uint8_t>(ct_len)};
-  auto sealed = gcm_.seal(nonce_for(seal_seq_++), {aad, 5}, inner);
-  Record rec;
-  rec.type = ContentType::kApplicationData;
-  rec.payload = std::move(sealed);
-  return encode_record(rec);
+  std::vector<uint8_t> out;
+  out.reserve(5 + payload.size() + 1 + crypto::kGcmTagSize);
+  seal_into(inner_type, payload, out);
+  return out;
 }
 
 std::optional<RecordCrypter::Opened> RecordCrypter::open(

@@ -29,15 +29,26 @@ struct Record {
 
 std::vector<uint8_t> encode_record(const Record& record);
 
+/// Appends the record's encoding to `out` (append-into-buffer variant
+/// used by the hot path to build multi-record flights in one buffer).
+void encode_record_into(const Record& record, std::vector<uint8_t>& out);
+
 /// Splits a byte stream into records; throws wire::DecodeError on a
 /// truncated stream.
 std::vector<Record> decode_records(std::span<const uint8_t> stream);
 
 /// Seals/opens TLS 1.3 records for one direction. Sequence numbers are
-/// managed internally (RFC 8446 section 5.3: nonce = iv XOR seq).
+/// managed internally (RFC 8446 section 5.3: nonce = iv XOR seq). Like
+/// quic::PacketProtector, the AEAD context lives as long as the
+/// crypter: one key schedule + GHASH table per traffic secret.
 class RecordCrypter {
  public:
   explicit RecordCrypter(const TrafficKeys& keys);
+
+  /// Appends one encrypted record carrying `payload` of `inner_type`
+  /// to `out`. `payload` must not alias `out`.
+  void seal_into(ContentType inner_type, std::span<const uint8_t> payload,
+                 std::vector<uint8_t>& out);
 
   /// Produces one encrypted record carrying `payload` of `inner_type`.
   std::vector<uint8_t> seal(ContentType inner_type,
@@ -51,11 +62,14 @@ class RecordCrypter {
   std::optional<Opened> open(const Record& record);
 
  private:
-  std::vector<uint8_t> nonce_for(uint64_t seq) const;
+  std::array<uint8_t, crypto::kGcmIvSize> nonce_for(uint64_t seq) const;
   crypto::Aes128Gcm gcm_;
   std::vector<uint8_t> iv_;
   uint64_t seal_seq_ = 0;
   uint64_t open_seq_ = 0;
+  // TLSInnerPlaintext scratch (payload || content type), reused across
+  // seals so steady-state records allocate nothing.
+  std::vector<uint8_t> scratch_inner_;
 };
 
 }  // namespace tls

@@ -16,6 +16,20 @@ void Writer::varint(uint64_t v) {
   }
 }
 
+void append_varint(std::vector<uint8_t>& out, uint64_t v) {
+  if (v <= 63) {
+    append_u8(out, static_cast<uint8_t>(v));
+  } else if (v <= 16383) {
+    append_u16(out, static_cast<uint16_t>(v | 0x4000));
+  } else if (v <= 1073741823) {
+    append_u32(out, static_cast<uint32_t>(v | 0x80000000u));
+  } else if (v <= kVarintMax) {
+    append_u64(out, v | (uint64_t{3} << 62));
+  } else {
+    throw std::invalid_argument("varint value out of range");
+  }
+}
+
 uint64_t Reader::varint() {
   uint8_t first = u8();
   int prefix = first >> 6;

@@ -84,6 +84,11 @@ class Writer {
   std::span<const uint8_t> span() const { return buf_; }
   uint8_t& operator[](size_t i) { return buf_[i]; }
 
+  /// Drops the content but keeps the capacity, so one Writer can be
+  /// reused across packets without reallocating.
+  void clear() { buf_.clear(); }
+  size_t capacity() const { return buf_.capacity(); }
+
  private:
   std::vector<uint8_t> buf_;
 };
@@ -164,6 +169,35 @@ class Reader {
   std::span<const uint8_t> data_;
   size_t pos_ = 0;
 };
+
+/// Append-style primitives writing directly into a caller-owned vector.
+/// Hot paths (packet protection, frame encoding) build coalesced
+/// datagrams by appending into one reusable buffer instead of
+/// round-tripping through a fresh Writer per packet; the encodings are
+/// bit-identical to the Writer member functions of the same name.
+inline void append_u8(std::vector<uint8_t>& out, uint8_t v) {
+  out.push_back(v);
+}
+inline void append_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v));
+}
+inline void append_u32(std::vector<uint8_t>& out, uint32_t v) {
+  append_u16(out, static_cast<uint16_t>(v >> 16));
+  append_u16(out, static_cast<uint16_t>(v));
+}
+inline void append_u64(std::vector<uint8_t>& out, uint64_t v) {
+  append_u32(out, static_cast<uint32_t>(v >> 32));
+  append_u32(out, static_cast<uint32_t>(v));
+}
+inline void append_bytes(std::vector<uint8_t>& out,
+                         std::span<const uint8_t> b) {
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+/// QUIC variable-length integer (RFC 9000 section 16). Throws
+/// std::invalid_argument for values >= 2^62.
+void append_varint(std::vector<uint8_t>& out, uint64_t v);
 
 /// Number of bytes a QUIC varint encoding of `v` occupies (1, 2, 4 or 8).
 size_t varint_size(uint64_t v);

@@ -9,16 +9,20 @@
 #include <sstream>
 #include <vector>
 
+#include "crypto/aes.h"
 #include "crypto/rng.h"
 #include "dns/wire.h"
 #include "engine/engine.h"
 #include "http/alt_svc.h"
 #include "http/h3.h"
 #include "internet/tp_catalog.h"
+#include "quic/frame.h"
 #include "quic/packet.h"
 #include "quic/transport_params.h"
 #include "telemetry/metrics.h"
 #include "tls/certificate.h"
+#include "tls/record.h"
+#include "wire/buffer.h"
 
 namespace {
 
@@ -392,5 +396,185 @@ TEST(RegistryMergeAlgebra, FoldOrderDoesNotChangeTheJson) {
   EXPECT_EQ(forward, fold({r2.get(), r3.get(), r1.get()}));
   EXPECT_NE(forward, fold({r1.get(), r2.get()}));  // merge is not lossy
 }
+
+/// --- Hot-path append APIs: byte-identical to return-by-value --------
+//
+// PR 3 converts the packet path to append-into-caller-buffer APIs with
+// reusable scratch; these sweeps pin the contract that every new entry
+// point produces exactly the bytes of the old return-by-value one, over
+// randomized keys, sizes and buffer-reuse patterns.
+
+class AppendApiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppendApiSweep, GcmSealOpenAppendMatchesReturnByValue) {
+  crypto::Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  auto key = rng.bytes(16);
+  crypto::Aes128Gcm gcm(key);
+  std::vector<uint8_t> sealed_acc = rng.bytes(rng.below(9));
+  for (int round = 0; round < 8; ++round) {
+    auto nonce = rng.bytes(12);
+    auto aad = rng.bytes(rng.below(40));
+    auto plaintext = rng.bytes(rng.below(300));
+
+    auto sealed = gcm.seal(nonce, aad, plaintext);
+    const auto prefix = sealed_acc;
+    gcm.seal_append(nonce, aad, plaintext, sealed_acc);
+    ASSERT_EQ(sealed_acc.size(), prefix.size() + sealed.size());
+    EXPECT_TRUE(std::equal(prefix.begin(), prefix.end(), sealed_acc.begin()));
+    EXPECT_TRUE(
+        std::equal(sealed.begin(), sealed.end(),
+                   sealed_acc.begin() + static_cast<long>(prefix.size())));
+
+    auto opened = gcm.open(nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    std::vector<uint8_t> opened_acc = rng.bytes(rng.below(5));
+    const auto opened_prefix = opened_acc;
+    ASSERT_TRUE(gcm.open_append(nonce, aad, sealed, opened_acc));
+    ASSERT_EQ(opened_acc.size(), opened_prefix.size() + opened->size());
+    EXPECT_TRUE(std::equal(opened->begin(), opened->end(),
+                           opened_acc.begin() +
+                               static_cast<long>(opened_prefix.size())));
+
+    // A corrupted tag must fail and leave the output buffer untouched.
+    auto corrupt = sealed;
+    corrupt.back() ^= 0x01;
+    auto before = opened_acc;
+    EXPECT_FALSE(gcm.open_append(nonce, aad, corrupt, opened_acc));
+    EXPECT_EQ(opened_acc, before);
+  }
+}
+
+TEST_P(AppendApiSweep, ProtectIntoMatchesProtectAndCoalesces) {
+  crypto::Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  auto dcid = rng.bytes(8);
+  auto protector =
+      quic::PacketProtector::for_initial(quic::kVersion1, dcid, false);
+
+  std::vector<uint8_t> coalesced;
+  std::vector<uint8_t> expected;
+  quic::Packet reused;  // rx scratch reused across every round
+  for (int round = 0; round < 6; ++round) {
+    quic::Packet packet;
+    packet.type = round % 2 ? quic::PacketType::kHandshake
+                            : quic::PacketType::kInitial;
+    packet.version = quic::kVersion1;
+    packet.dcid = dcid;
+    packet.scid = rng.bytes(8);
+    packet.packet_number = static_cast<uint64_t>(round);
+    packet.payload = rng.bytes(4 + rng.below(600));
+
+    auto alone = protector.protect(packet);
+    protector.protect_into(packet, packet.payload, coalesced);
+    expected.insert(expected.end(), alone.begin(), alone.end());
+    ASSERT_EQ(coalesced, expected) << "round " << round;
+  }
+
+  // Walking the coalesced datagram with the reusing unprotect_into
+  // recovers each packet identically to the allocating unprotect.
+  size_t offset = 0, check_offset = 0;
+  for (int round = 0; round < 6; ++round) {
+    auto fresh = protector.unprotect(coalesced, check_offset);
+    ASSERT_TRUE(fresh.has_value());
+    ASSERT_TRUE(protector.unprotect_into(coalesced, offset, reused));
+    EXPECT_EQ(offset, check_offset);
+    EXPECT_EQ(reused.packet_number, fresh->packet_number);
+    EXPECT_EQ(reused.dcid, fresh->dcid);
+    EXPECT_EQ(reused.scid, fresh->scid);
+    EXPECT_EQ(reused.token, fresh->token);
+    EXPECT_EQ(reused.payload, fresh->payload);
+  }
+  EXPECT_EQ(offset, coalesced.size());
+}
+
+TEST_P(AppendApiSweep, FrameEncodeIntoReusedWriterMatchesEncodeFrames) {
+  crypto::Rng rng(static_cast<uint64_t>(GetParam()) * 65537 + 3);
+  wire::Writer reused;
+  for (int round = 0; round < 10; ++round) {
+    std::vector<quic::Frame> frames;
+    size_t count = 1 + rng.below(6);
+    for (size_t i = 0; i < count; ++i) {
+      switch (rng.below(6)) {
+        case 0: frames.push_back(quic::PaddingFrame{1 + rng.below(50)}); break;
+        case 1: frames.push_back(quic::PingFrame{}); break;
+        case 2:
+          frames.push_back(quic::AckFrame{rng.below(1000), rng.below(100),
+                                          rng.below(10), {}});
+          break;
+        case 3:
+          frames.push_back(
+              quic::CryptoFrame{rng.below(1 << 14), rng.bytes(rng.below(80))});
+          break;
+        case 4:
+          frames.push_back(quic::StreamFrame{rng.below(64), rng.below(1 << 14),
+                                             rng.below(2) == 0,
+                                             rng.bytes(rng.below(80))});
+          break;
+        default: frames.push_back(quic::HandshakeDoneFrame{}); break;
+      }
+    }
+    auto expected = quic::encode_frames(frames);
+    reused.clear();  // capacity survives; contents must not
+    quic::encode_frames_into(reused, frames);
+    ASSERT_EQ(std::vector<uint8_t>(reused.span().begin(), reused.span().end()),
+              expected)
+        << "round " << round;
+    auto decoded = quic::decode_frames(reused.span());
+    auto reference = quic::decode_frames(expected);
+    EXPECT_EQ(decoded, reference);
+  }
+}
+
+TEST_P(AppendApiSweep, WireAppendPrimitivesMatchWriter) {
+  crypto::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  wire::Writer w;
+  std::vector<uint8_t> appended;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = rng.next() >> rng.below(64);
+    switch (rng.below(6)) {
+      case 0: w.u8(static_cast<uint8_t>(v));
+              wire::append_u8(appended, static_cast<uint8_t>(v)); break;
+      case 1: w.u16(static_cast<uint16_t>(v));
+              wire::append_u16(appended, static_cast<uint16_t>(v)); break;
+      case 2: w.u32(static_cast<uint32_t>(v));
+              wire::append_u32(appended, static_cast<uint32_t>(v)); break;
+      case 3: w.u64(v); wire::append_u64(appended, v); break;
+      case 4: {
+        uint64_t varint = v & wire::kVarintMax;
+        w.varint(varint);
+        wire::append_varint(appended, varint);
+        break;
+      }
+      default: {
+        auto blob = rng.bytes(rng.below(20));
+        w.bytes(blob);
+        wire::append_bytes(appended, blob);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(std::vector<uint8_t>(w.span().begin(), w.span().end()), appended);
+}
+
+TEST_P(AppendApiSweep, RecordSealIntoMatchesSeal) {
+  crypto::Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  tls::TrafficKeys keys;
+  keys.key = rng.bytes(16);
+  keys.iv = rng.bytes(12);
+  // Two crypters with the same keys advance their sequence numbers in
+  // lockstep, one per API under test.
+  tls::RecordCrypter by_value(keys);
+  tls::RecordCrypter by_append(keys);
+  std::vector<uint8_t> flight;
+  std::vector<uint8_t> expected;
+  for (int round = 0; round < 8; ++round) {
+    auto payload = rng.bytes(rng.below(400));
+    auto record = by_value.seal(tls::ContentType::kHandshake, payload);
+    by_append.seal_into(tls::ContentType::kHandshake, payload, flight);
+    expected.insert(expected.end(), record.begin(), record.end());
+    ASSERT_EQ(flight, expected) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppendApiSweep, ::testing::Range(0, 12));
 
 }  // namespace

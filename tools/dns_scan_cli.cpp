@@ -6,9 +6,9 @@
 //                [--seed N] [--qlog DIR] [--metrics FILE]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
-// --jobs N shards the domain corpus across N worker threads; the
-// merged CSV and metrics are identical for every N (see DESIGN.md
-// "Sharded campaign engine"). --seed reseeds the synthetic population;
+// --jobs N shards the domain corpus across N worker threads (0 =
+// auto-detect hardware concurrency); the merged CSV and metrics are
+// identical for every N (see DESIGN.md "Sharded campaign engine"). --seed reseeds the synthetic population;
 // --qlog writes one JSON-Lines trace per shard; --metrics dumps the
 // merged counters as JSON on exit.
 #include <cstdio>
@@ -16,6 +16,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "engine/engine.h"
 #include "internet/internet.h"
@@ -55,9 +56,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (jobs < 1) {
-    std::fprintf(stderr, "--jobs must be >= 1\n");
+  if (jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0 (0 = auto-detect)\n");
     return 2;
+  }
+  if (jobs == 0) {
+    // hardware_concurrency() may report 0 on exotic platforms; fall
+    // back to the serial path rather than refusing to run.
+    unsigned detected = std::thread::hardware_concurrency();
+    jobs = detected > 0 ? static_cast<int>(detected) : 1;
+    std::fprintf(stderr, "--jobs 0: auto-detected %d worker thread%s\n",
+                 jobs, jobs == 1 ? "" : "s");
   }
   if (!qlog_dir.empty()) {
     // Validate the qlog root up front, on the calling thread, so a bad

@@ -12,7 +12,8 @@
 // --jobs N shards the campaign across N worker threads (see
 // DESIGN.md "Sharded campaign engine"); the merged CSV and metrics
 // are identical for every N, and --jobs 1 is byte-identical to the
-// historical serial path. --qlog writes one JSON-Lines trace per
+// historical serial path. --jobs 0 auto-detects the machine's
+// hardware concurrency. --qlog writes one JSON-Lines trace per
 // attempt into DIR (per-shard subdirectories when N > 1); --metrics
 // writes the merged counter/histogram summary as JSON on exit.
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "engine/engine.h"
 #include "internet/internet.h"
@@ -119,9 +121,17 @@ int main(int argc, char** argv) {
     }
   }
   if (!scan_all && targets_file.empty()) scan_all = true;
-  if (jobs < 1) {
-    std::fprintf(stderr, "--jobs must be >= 1\n");
+  if (jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0 (0 = auto-detect)\n");
     return 2;
+  }
+  if (jobs == 0) {
+    // hardware_concurrency() may report 0 on exotic platforms; fall
+    // back to the serial path rather than refusing to run.
+    unsigned detected = std::thread::hardware_concurrency();
+    jobs = detected > 0 ? static_cast<int>(detected) : 1;
+    std::fprintf(stderr, "--jobs 0: auto-detected %d worker thread%s\n",
+                 jobs, jobs == 1 ? "" : "s");
   }
   if (!qlog_dir.empty()) {
     // Validate the qlog root up front, on the calling thread, so a bad

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# run_benches.sh: build the Release tree and refresh every committed
+# BENCH_*.json from the bench/micro_* binaries, uniformly.
+#
+#   tools/run_benches.sh [build-dir]
+#
+# The Google-Benchmark binaries (micro_codec, micro_scanner,
+# micro_telemetry) emit their standard JSON via --benchmark_out; the
+# wall-clock campaign benches (micro_engine, micro_hotpath) write their
+# own JSON summaries. All artifacts land in the repository root as
+# BENCH_<name>.json so diffs of a perf PR show the numbers moving.
+#
+# Benches also exist as ctest entries labeled `bench` (ctest -L bench),
+# but that path drops the JSON in the build tree; this script is the
+# front door for refreshing the committed copies.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-release}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j"$JOBS" --target \
+  micro_codec micro_scanner micro_telemetry micro_engine micro_hotpath
+
+# Google-Benchmark timing suites: standard JSON reporter.
+for name in codec scanner telemetry; do
+  echo "== micro_$name"
+  "$BUILD/bench/micro_$name" \
+    --benchmark_out="$ROOT/BENCH_$name.json" \
+    --benchmark_out_format=json
+done
+
+# Wall-clock campaign benches: self-managed JSON summaries.
+echo "== micro_engine"
+"$BUILD/bench/micro_engine" "$ROOT/BENCH_engine.json"
+echo "== micro_hotpath"
+"$BUILD/bench/micro_hotpath" "$ROOT/BENCH_hotpath.json"
+
+echo "refreshed:"
+ls -1 "$ROOT"/BENCH_*.json

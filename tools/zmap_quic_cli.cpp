@@ -9,6 +9,7 @@
 // --jobs N shards the sweep space across N worker threads, like the
 // real ZMap's sender shards; the merged responder list and metrics are
 // identical for every N (see DESIGN.md "Sharded campaign engine").
+// --jobs 0 auto-detects the machine's hardware concurrency.
 // --qlog writes one JSON-Lines trace per shard (the module is
 // stateless, so each shard's probes and VN responses share one file);
 // --metrics dumps the merged counters as JSON on exit.
@@ -17,6 +18,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "engine/engine.h"
 #include "internet/internet.h"
@@ -89,9 +91,17 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (jobs < 1) {
-    std::fprintf(stderr, "--jobs must be >= 1\n");
+  if (jobs < 0) {
+    std::fprintf(stderr, "--jobs must be >= 0 (0 = auto-detect)\n");
     return 2;
+  }
+  if (jobs == 0) {
+    // hardware_concurrency() may report 0 on exotic platforms; fall
+    // back to the serial path rather than refusing to run.
+    unsigned detected = std::thread::hardware_concurrency();
+    jobs = detected > 0 ? static_cast<int>(detected) : 1;
+    std::fprintf(stderr, "--jobs 0: auto-detected %d worker thread%s\n",
+                 jobs, jobs == 1 ? "" : "s");
   }
   if (!qlog_dir.empty()) {
     // Validate the qlog root up front, on the calling thread, so a bad
