@@ -73,7 +73,7 @@ RunResult run_campaign(const std::vector<scanner::QscanTarget>& targets,
   result.targets_per_sec =
       static_cast<double>(targets.size()) / (elapsed.count() / 1000.0);
   for (uint64_t a : shard_attempts) result.attempts += a;
-  for (int i = 0; i < 5; ++i) {
+  for (size_t i = 0; i < scanner::kQscanOutcomeCount; ++i) {
     auto name = scanner::to_string(static_cast<scanner::QscanOutcome>(i));
     const auto* counter =
         campaign.metrics().find_counter("qscan.outcome." + name);

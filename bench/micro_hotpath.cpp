@@ -197,7 +197,7 @@ CampaignResult run_campaign(const std::vector<scanner::QscanTarget>& targets) {
       campaign.metrics().find_counter("hotpath.aead_ctx_reuse");
   result.hotpath_alloc_bytes = alloc ? alloc->value() : 0;
   result.hotpath_aead_reuse = reuse ? reuse->value() : 0;
-  for (int i = 0; i < 5; ++i) {
+  for (size_t i = 0; i < scanner::kQscanOutcomeCount; ++i) {
     auto name = scanner::to_string(static_cast<scanner::QscanOutcome>(i));
     const auto* counter =
         campaign.metrics().find_counter("qscan.outcome." + name);

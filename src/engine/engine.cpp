@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "crypto/rng.h"
+#include "netsim/impairment.h"
 
 namespace engine {
 
@@ -49,6 +50,10 @@ int shard_of(size_t index, size_t n, int jobs) {
 Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
   if (options_.jobs < 1)
     throw std::invalid_argument("Campaign: jobs must be >= 1");
+  if (!options_.impairment.empty() &&
+      !netsim::find_impairment_profile(options_.impairment))
+    throw std::invalid_argument("Campaign: unknown impairment profile '" +
+                                options_.impairment + "'");
 }
 
 void Campaign::run_shard(int shard_index, const ShardBody& body) {
@@ -68,6 +73,15 @@ void Campaign::run_shard(int shard_index, const ShardBody& body) {
   auto& metrics = *shard_metrics_[static_cast<size_t>(shard_index)];
   loop.set_metrics(&metrics);
   internet.network().set_metrics(&metrics);
+  if (!options_.impairment.empty()) {
+    // Validated in the constructor; applied after metrics attachment so
+    // drop-cause counters see every impaired datagram, and before the
+    // body so attempt 1 already runs on the impaired fabric. Serial
+    // baselines in the differential tests must apply at this same
+    // position.
+    internet.apply_impairment(
+        *netsim::find_impairment_profile(options_.impairment));
+  }
 
   std::optional<telemetry::QlogDir> qlog;
   if (!options_.qlog_dir.empty()) {

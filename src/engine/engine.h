@@ -104,6 +104,14 @@ struct CampaignOptions {
   internet::PopulationParams population{};
   /// qlog output root; empty disables tracing.
   std::string qlog_dir;
+  /// Named fault-fabric profile ("clean", "lossy", "bursty", "hostile",
+  /// "throttled") applied to every server link of each shard's private
+  /// internet before the body runs. Empty or "clean" leaves the fabric
+  /// untouched. Unknown names throw std::invalid_argument from the
+  /// Campaign constructor. Because impairment RNG is counter-based and
+  /// keyed per (seed, link, datagram), the merged campaign output stays
+  /// a pure function of (seed, jobs, impairment).
+  std::string impairment;
 };
 
 /// Runs one campaign body per shard and owns the deterministic merge.

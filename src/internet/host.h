@@ -34,6 +34,13 @@ class ServerHost : public netsim::UdpService, public netsim::TcpService {
 
   const HostProfile& profile() const { return profile_; }
 
+  /// Enables split server handshake flights (see
+  /// quic::DeploymentBehavior::max_crypto_chunk). Called by
+  /// Internet::apply_impairment for profiles that reorder, so
+  /// out-of-order CRYPTO is actually reachable; 0 restores the default
+  /// coalesced flight.
+  void set_max_crypto_chunk(size_t bytes) { behavior_.max_crypto_chunk = bytes; }
+
   /// Certificate selection shared by both stacks. `tcp_path` switches
   /// on the TCP-only behaviors (self-signed no-SNI placeholder,
   /// rotation skew).

@@ -119,4 +119,15 @@ const ServerHost* Internet::host_for(const netsim::IpAddress& addr) const {
   return it == host_map_.end() ? nullptr : it->second;
 }
 
+void Internet::apply_impairment(const netsim::ImpairmentProfile& profile) {
+  if (profile.is_clean()) return;  // exact no-op: no link entries created
+  for (auto& host : server_hosts_) {
+    const auto& addr = host->profile().address;
+    netsim::LinkProperties props = network_.link(addr);
+    profile.apply(props);
+    network_.set_link(addr, props);
+    host->set_max_crypto_chunk(profile.max_crypto_chunk);
+  }
+}
+
 }  // namespace internet

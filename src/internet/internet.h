@@ -11,6 +11,7 @@
 #include "dns/resolver.h"
 #include "internet/host.h"
 #include "internet/population.h"
+#include "netsim/impairment.h"
 #include "netsim/network.h"
 
 namespace internet {
@@ -40,6 +41,13 @@ class Internet {
   std::vector<std::string> list_corpus(const std::string& list_name) const;
 
   const ServerHost* host_for(const netsim::IpAddress& addr) const;
+
+  /// Overlays `profile` onto every registered host's link (both
+  /// directions of its traffic pass the impairment pipeline) and, when
+  /// the profile asks for it, switches the hosts to split handshake
+  /// flights. A clean profile is an exact no-op, so `--impair clean`
+  /// is byte-identical to no flag.
+  void apply_impairment(const netsim::ImpairmentProfile& profile);
 
  private:
   void register_hosts();

@@ -54,6 +54,19 @@ struct IpAddressHash {
   size_t operator()(const IpAddress& a) const { return a.hash(); }
 };
 
+/// Stable 64-bit key derived only from the address bytes + family.
+/// Used to key deterministic per-link / per-target RNG streams; unlike
+/// hash(), the value is pinned by this header, not the standard
+/// library, so replays are portable.
+inline uint64_t address_key64(const IpAddress& a) {
+  const auto& b = a.v6_bytes();  // v4 lives zero-padded in bytes 12..15
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = hi << 8 | b[static_cast<size_t>(i)];
+  for (int i = 8; i < 16; ++i) lo = lo << 8 | b[static_cast<size_t>(i)];
+  return (hi * 0x9e3779b97f4a7c15ull ^ lo) +
+         (a.is_v4() ? 0x3434343434343434ull : 0x6666666666666666ull);
+}
+
 /// CIDR prefix, e.g. 104.16.0.0/12 or 2606:4700::/32.
 class Prefix {
  public:

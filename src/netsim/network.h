@@ -46,11 +46,39 @@ class TcpService {
   virtual std::unique_ptr<TcpSession> accept(const Endpoint& client) = 0;
 };
 
-/// Per-host link behavior knobs.
+/// Per-host link behavior knobs. The fields after `silent` form the
+/// fault-injection fabric (see impairment.h for the named profiles);
+/// they all default to off, and the legacy latency/loss/silent path is
+/// byte-for-byte unchanged when they stay off.
 struct LinkProperties {
   uint64_t latency_us = 10'000;  // one-way
   double loss = 0.0;             // uniform datagram loss probability
   bool silent = false;           // swallow everything (paper's timeouts)
+
+  // Gilbert-Elliott bursty loss (two-state Markov; starts good).
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 0.0;
+  double ge_p_good_bad = 0.0;
+  double ge_p_bad_good = 0.0;
+  // Bounded reordering: hold a datagram back `reorder_extra_us` extra.
+  double reorder = 0.0;
+  uint64_t reorder_extra_us = 0;
+  // Datagram duplication probability.
+  double duplicate = 0.0;
+  // One-bit payload corruption probability (caught by the AEAD tag).
+  double corrupt = 0.0;
+  // Uniform extra latency in [0, jitter_us] per datagram.
+  uint64_t jitter_us = 0;
+  // Token-bucket policer; over-budget datagrams vanish silently.
+  double rate_limit_pps = 0.0;
+  double rate_burst = 0.0;
+
+  /// True when any fabric impairment is active on this link.
+  bool impaired() const {
+    return ge_loss_good > 0 || ge_loss_bad > 0 || ge_p_good_bad > 0 ||
+           reorder > 0 || duplicate > 0 || corrupt > 0 || jitter_us > 0 ||
+           rate_limit_pps > 0;
+  }
 };
 
 class UdpSocket;
@@ -116,16 +144,29 @@ class Network {
  private:
   friend class UdpSocket;
   void deliver(const Endpoint& from, const Endpoint& to,
-               std::vector<uint8_t> payload);
+               std::vector<uint8_t> payload, bool reordered = false);
+
+  /// Mutable per-link fabric state. The RNG itself is stateless
+  /// (counter-based over `seq`); only the Markov loss state and the
+  /// token bucket live here.
+  struct ImpairState {
+    uint64_t seq = 0;       // datagrams seen on this impaired link
+    bool ge_bad = false;    // Gilbert-Elliott state
+    bool bucket_init = false;
+    double tokens = 0.0;
+    uint64_t bucket_last_us = 0;
+  };
 
   EventLoop& loop_;
   std::unordered_map<Endpoint, UdpService*, EndpointHash> udp_services_;
   std::unordered_map<Endpoint, UdpSocket*, EndpointHash> udp_sockets_;
   std::unordered_map<Endpoint, TcpService*, EndpointHash> tcp_services_;
   std::unordered_map<IpAddress, LinkProperties, IpAddressHash> links_;
+  std::unordered_map<IpAddress, ImpairState, IpAddressHash> impair_state_;
   LinkProperties default_link_{};
   Tap tap_;
   uint64_t loss_state_;
+  uint64_t impair_seed_;
   uint64_t datagrams_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   telemetry::Counter* metric_datagrams_ = nullptr;
@@ -134,6 +175,11 @@ class Network {
   telemetry::Counter* metric_dropped_loss_ = nullptr;
   telemetry::Counter* metric_dropped_unrouted_ = nullptr;
   telemetry::Counter* metric_delivered_ = nullptr;
+  telemetry::Counter* metric_dropped_rate_limited_ = nullptr;
+  telemetry::Counter* metric_dropped_reorder_expired_ = nullptr;
+  telemetry::Counter* metric_corrupted_ = nullptr;
+  telemetry::Counter* metric_duplicated_ = nullptr;
+  telemetry::Counter* metric_reordered_ = nullptr;
 };
 
 /// Client-side datagram socket with an async receive callback.

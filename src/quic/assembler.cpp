@@ -1,0 +1,54 @@
+#include "quic/assembler.h"
+
+namespace quic {
+
+bool CryptoAssembler::offer(uint64_t offset, std::span<const uint8_t> data) {
+  if (data.empty()) return false;
+  const uint64_t end = offset + data.size();
+  if (end <= assembled_.size()) return false;  // fully duplicate
+  if (offset > assembled_.size()) {
+    // Past the contiguous prefix: stash until the gap closes. On a
+    // duplicate offset keep the longer chunk.
+    auto [it, inserted] =
+        pending_.emplace(offset, std::vector<uint8_t>(data.begin(), data.end()));
+    if (!inserted && it->second.size() < data.size())
+      it->second.assign(data.begin(), data.end());
+    return false;
+  }
+  // Overlaps or extends the contiguous prefix: append the new tail.
+  assembled_.insert(assembled_.end(),
+                    data.begin() + static_cast<ptrdiff_t>(assembled_.size() -
+                                                          offset),
+                    data.end());
+  drain_pending();
+  return true;
+}
+
+void CryptoAssembler::drain_pending() {
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (it->first > assembled_.size()) break;  // ordered map: still a gap
+    const auto& chunk = it->second;
+    const uint64_t chunk_end = it->first + chunk.size();
+    if (chunk_end > assembled_.size())
+      assembled_.insert(
+          assembled_.end(),
+          chunk.begin() +
+              static_cast<ptrdiff_t>(assembled_.size() - it->first),
+          chunk.end());
+    it = pending_.erase(it);
+  }
+}
+
+size_t CryptoAssembler::pending_bytes() const {
+  size_t total = 0;
+  for (const auto& [offset, chunk] : pending_) total += chunk.size();
+  return total;
+}
+
+void CryptoAssembler::clear() {
+  assembled_.clear();
+  pending_.clear();
+}
+
+}  // namespace quic

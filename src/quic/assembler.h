@@ -1,0 +1,37 @@
+// CRYPTO stream reassembly (RFC 9000 section 19.6): frames may arrive
+// out of order, duplicated, or overlapping, and the TLS layer must see
+// one contiguous byte stream regardless. Replaces the old "the
+// simulation never reorders" skip in the client connection, which the
+// fault-injection fabric now falsifies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace quic {
+
+/// Reassembles one encryption level's CRYPTO stream. Contiguous data
+/// accumulates in `assembled()`; chunks past the contiguous prefix wait
+/// in a pending map until the gap closes.
+class CryptoAssembler {
+ public:
+  /// Offers one CRYPTO frame. Returns true when new contiguous bytes
+  /// became available (only then is re-parsing the flight worthwhile).
+  bool offer(uint64_t offset, std::span<const uint8_t> data);
+
+  const std::vector<uint8_t>& assembled() const { return assembled_; }
+  size_t pending_chunks() const { return pending_.size(); }
+  size_t pending_bytes() const;
+  void clear();
+
+ private:
+  void drain_pending();
+
+  std::vector<uint8_t> assembled_;
+  std::map<uint64_t, std::vector<uint8_t>> pending_;  // offset -> data
+};
+
+}  // namespace quic

@@ -159,7 +159,7 @@ void ClientConnection::send_initial_flight() {
   scid_ = rng_.bytes(8);
   key_pair_ = crypto::dh_generate(rng_.next());
   key_schedule_ = tls::KeySchedule();
-  handshake_crypto_buffer_.clear();
+  handshake_crypto_.clear();
   pn_initial_ = pn_handshake_ = pn_app_ = 0;
 
   initial_tx_ =
@@ -341,7 +341,14 @@ void ClientConnection::on_datagram(std::span<const uint8_t> datagram) {
         process_one_rtt(rx_packet_);
       }
     }
-    if (!opened) return;  // undecryptable; drop the rest of the datagram
+    if (!opened) {
+      // Undecryptable: corrupted in flight, or keys for this level are
+      // not available yet (a reordered datagram overtook the flight
+      // carrying them). Count and drop the rest of the datagram -- the
+      // attempt itself continues (PTO / retransmission recovers).
+      ++hotpath_stats_.undecryptable;
+      return;
+    }
   }
 }
 
@@ -428,19 +435,19 @@ bool ClientConnection::process_handshake(const Packet& packet) {
                                               : ConnectResult::kTransportError);
     return false;
   }
-  for (const auto& frame : frames) {
-    if (const auto* c = std::get_if<CryptoFrame>(&frame)) {
-      if (c->offset != handshake_crypto_buffer_.size())
-        continue;  // out-of-order; the simulation never reorders
-      handshake_crypto_buffer_.insert(handshake_crypto_buffer_.end(),
-                                      c->data.begin(), c->data.end());
-    }
-  }
+  // Feed every CRYPTO frame through the reassembler; out-of-order and
+  // duplicate chunks buffer until the contiguous prefix grows.
+  bool grew = false;
+  for (const auto& frame : frames)
+    if (const auto* c = std::get_if<CryptoFrame>(&frame))
+      grew |= handshake_crypto_.offer(c->offset, c->data);
+  if (!grew) return true;  // no new contiguous bytes: nothing to re-parse
 
   // Try to parse the complete EE..Finished flight.
+  const std::vector<uint8_t>& crypto_stream = handshake_crypto_.assembled();
   std::vector<tls::HandshakeMessage> flight;
   try {
-    flight = tls::decode_handshake_flight(handshake_crypto_buffer_);
+    flight = tls::decode_handshake_flight(crypto_stream);
   } catch (const wire::DecodeError&) {
     return true;  // incomplete; wait for more CRYPTO data
   }
@@ -451,13 +458,12 @@ bool ClientConnection::process_handshake(const Packet& packet) {
 
   // Re-walk the flight, updating the transcript message by message so
   // the Finished check runs over CH..CertificateVerify.
-  wire::Reader raw(handshake_crypto_buffer_);
+  wire::Reader raw(crypto_stream);
   for (const auto& m : flight) {
     size_t before = raw.position();
     tls::decode_handshake(raw);  // advance to find the encoded length
     size_t len = raw.position() - before;
-    std::span<const uint8_t> encoded{handshake_crypto_buffer_.data() + before,
-                                     len};
+    std::span<const uint8_t> encoded{crypto_stream.data() + before, len};
     if (config_.tracer.active()) {
       const char* name = "?";
       if (std::holds_alternative<tls::EncryptedExtensions>(m))
@@ -739,6 +745,9 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
     initial_tx_->set_stats(&hotpath_stats_);
     size_t offset = 0;
     if (!initial_rx_->unprotect_into(datagram, offset, rx_packet_)) {
+      // Corrupted-in-flight ClientHello: close this (stateless) session;
+      // the owner erases it, so a client retransmission starts fresh.
+      ++hotpath_stats_.undecryptable;
       state_ = State::kClosed;
       return;
     }
@@ -793,7 +802,9 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
       if (opened && state_ == State::kAwaitFinished && !last_flight_.empty()) {
         try {
           auto frames = decode_frames(rx_packet_.payload);
-          if (find_crypto(frames) != nullptr) send_(last_flight_);
+          if (find_crypto(frames) != nullptr)
+            for (const auto& flight_datagram : last_flight_)
+              send_(flight_datagram);
         } catch (const wire::DecodeError&) {
         }
       }
@@ -805,7 +816,10 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
       opened = app_rx_->unprotect_into(datagram, offset, rx_packet_);
       if (opened) process_client_one_rtt(rx_packet_);
     }
-    if (!opened) return;
+    if (!opened) {
+      ++hotpath_stats_.undecryptable;
+      return;
+    }
   }
 }
 
@@ -973,8 +987,11 @@ void ServerConnection::process_client_initial(const Packet& packet) {
   app_tx_->set_stats(&hotpath_stats_);
   app_rx_->set_stats(&hotpath_stats_);
 
-  // Transmit: Initial(ACK + SH) coalesced with Handshake(EE..Fin),
-  // appended into one datagram via protect_into.
+  // Transmit: Initial(ACK + SH) coalesced with Handshake(EE..Fin) in
+  // one datagram by default. With max_crypto_chunk set, the Initial
+  // goes out alone and the CRYPTO stream follows in bounded chunks,
+  // one Handshake packet per datagram, so the fault fabric can reorder
+  // or drop them independently.
   std::vector<uint8_t> datagram;
   Packet init;
   init.type = PacketType::kInitial;
@@ -994,33 +1011,79 @@ void ServerConnection::process_client_initial(const Packet& packet) {
   flight.insert(flight.end(), cm_bytes.begin(), cm_bytes.end());
   flight.insert(flight.end(), cv_bytes.begin(), cv_bytes.end());
   flight.insert(flight.end(), fin_bytes.begin(), fin_bytes.end());
-  Packet hs;
-  hs.type = PacketType::kHandshake;
-  hs.version = version_;
-  hs.dcid = client_scid_;
-  hs.scid = scid_;
-  hs.packet_number = pn_handshake_++;
-  frame_scratch_.clear();
-  const Frame hs_frame = CryptoFrame{0, std::move(flight)};
-  encode_frames_into(frame_scratch_, {&hs_frame, 1});
-  handshake_tx_->protect_into(hs, frame_scratch_.span(), datagram);
-  if (tracer_.active()) {
-    tracer_.emit(telemetry::EventType::kKeyUpdate,
-                 {{"level", "application"}});
-    tracer_.emit(
-        telemetry::EventType::kPacketSent,
-        {{"packet_type", "initial"},
-         {"packet_number", init.packet_number},
-         {"size", static_cast<uint64_t>(initial_size)}});
-    tracer_.emit(
-        telemetry::EventType::kPacketSent,
-        {{"packet_type", "handshake"},
-         {"packet_number", hs.packet_number},
-         {"size", static_cast<uint64_t>(datagram.size() - initial_size)}});
+  last_flight_.clear();
+
+  if (behavior_.max_crypto_chunk == 0) {
+    Packet hs;
+    hs.type = PacketType::kHandshake;
+    hs.version = version_;
+    hs.dcid = client_scid_;
+    hs.scid = scid_;
+    hs.packet_number = pn_handshake_++;
+    frame_scratch_.clear();
+    const Frame hs_frame = CryptoFrame{0, std::move(flight)};
+    encode_frames_into(frame_scratch_, {&hs_frame, 1});
+    handshake_tx_->protect_into(hs, frame_scratch_.span(), datagram);
+    if (tracer_.active()) {
+      tracer_.emit(telemetry::EventType::kKeyUpdate,
+                   {{"level", "application"}});
+      tracer_.emit(
+          telemetry::EventType::kPacketSent,
+          {{"packet_type", "initial"},
+           {"packet_number", init.packet_number},
+           {"size", static_cast<uint64_t>(initial_size)}});
+      tracer_.emit(
+          telemetry::EventType::kPacketSent,
+          {{"packet_type", "handshake"},
+           {"packet_number", hs.packet_number},
+           {"size", static_cast<uint64_t>(datagram.size() - initial_size)}});
+    }
+    state_ = State::kAwaitFinished;  // before send_: reply may nest
+    last_flight_.push_back(datagram);
+    send_(std::move(datagram));
+    return;
   }
-  state_ = State::kAwaitFinished;  // before send_: reply may nest
-  last_flight_ = datagram;
+
+  if (tracer_.active()) {
+    tracer_.emit(telemetry::EventType::kKeyUpdate, {{"level", "application"}});
+    tracer_.emit(telemetry::EventType::kPacketSent,
+                 {{"packet_type", "initial"},
+                  {"packet_number", init.packet_number},
+                  {"size", static_cast<uint64_t>(initial_size)}});
+  }
+  state_ = State::kAwaitFinished;  // before send_: replies may nest
+  last_flight_.push_back(datagram);
   send_(std::move(datagram));
+  for (size_t chunk_offset = 0; chunk_offset < flight.size();) {
+    const size_t len =
+        std::min(behavior_.max_crypto_chunk, flight.size() - chunk_offset);
+    Packet hs;
+    hs.type = PacketType::kHandshake;
+    hs.version = version_;
+    hs.dcid = client_scid_;
+    hs.scid = scid_;
+    hs.packet_number = pn_handshake_++;
+    CryptoFrame chunk;
+    chunk.offset = chunk_offset;
+    chunk.data.assign(flight.begin() + static_cast<ptrdiff_t>(chunk_offset),
+                      flight.begin() +
+                          static_cast<ptrdiff_t>(chunk_offset + len));
+    frame_scratch_.clear();
+    const Frame chunk_frame = std::move(chunk);
+    encode_frames_into(frame_scratch_, {&chunk_frame, 1});
+    std::vector<uint8_t> chunk_datagram;
+    handshake_tx_->protect_into(hs, frame_scratch_.span(), chunk_datagram);
+    if (tracer_.active())
+      tracer_.emit(
+          telemetry::EventType::kPacketSent,
+          {{"packet_type", "handshake"},
+           {"packet_number", hs.packet_number},
+           {"crypto_offset", static_cast<uint64_t>(chunk_offset)},
+           {"size", static_cast<uint64_t>(chunk_datagram.size())}});
+    last_flight_.push_back(chunk_datagram);
+    send_(std::move(chunk_datagram));
+    chunk_offset += len;
+  }
 }
 
 void ServerConnection::process_client_handshake(const Packet& packet) {

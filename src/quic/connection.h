@@ -15,6 +15,7 @@
 
 #include "crypto/dh.h"
 #include "crypto/rng.h"
+#include "quic/assembler.h"
 #include "quic/frame.h"
 #include "quic/packet.h"
 #include "quic/transport_params.h"
@@ -135,7 +136,10 @@ class ClientConnection {
     kDone,
   } state_ = State::kIdle;
   uint64_t pn_initial_ = 0, pn_handshake_ = 0, pn_app_ = 0;
-  std::vector<uint8_t> handshake_crypto_buffer_;
+  // Handshake-level CRYPTO reassembly: tolerates out-of-order,
+  // duplicated and overlapping frames (the fault fabric produces all
+  // three; RFC 9000 section 19.6 requires tolerating them anyway).
+  CryptoAssembler handshake_crypto_;
 
   // Hot-path scratch, reused across every packet of the attempt: frame
   // encoding writes into frame_scratch_ (cleared, capacity kept) and
@@ -192,6 +196,14 @@ struct DeploymentBehavior {
 
   /// HTTP responder for requests on stream 0; receives the raw request.
   std::function<std::string(const std::string& request)> http_responder;
+
+  /// When > 0, the server's handshake flight is split: the Initial
+  /// (ACK + ServerHello) goes out as its own datagram and the EE..Fin
+  /// CRYPTO stream follows in chunks of at most this many bytes, one
+  /// Handshake packet per datagram. Lets the fault fabric's reordering
+  /// produce genuinely out-of-order CRYPTO at the client. 0 keeps the
+  /// single coalesced flight (the default and the seed behavior).
+  size_t max_crypto_chunk = 0;
 };
 
 /// Server-side connection; one per (client endpoint, original DCID).
@@ -234,7 +246,9 @@ class ServerConnection {
 
   enum class State { kAwaitInitial, kAwaitFinished, kEstablished, kClosed };
   State state_ = State::kAwaitInitial;
-  std::vector<uint8_t> last_flight_;  // server flight, for retransmission
+  // Server flight for retransmission: one datagram when coalesced,
+  // several when max_crypto_chunk splits the CRYPTO stream.
+  std::vector<std::vector<uint8_t>> last_flight_;
   uint64_t pn_initial_ = 0, pn_handshake_ = 0, pn_app_ = 0;
 
   // Hot-path scratch mirroring ClientConnection's (see there).

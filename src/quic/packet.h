@@ -88,12 +88,17 @@ InitialSecrets derive_initial_secrets(Version version,
 
 /// Running totals for the per-attempt hot path, owned by whoever drives
 /// a connection (the scanner attempt) and surfaced through telemetry as
-/// `hotpath.alloc_bytes` / `hotpath.aead_ctx_reuse`. alloc_bytes counts
-/// capacity growth of the reusable scratch buffers — zero growth in
-/// steady state means the packet path ran allocation-free.
+/// `hotpath.alloc_bytes` / `hotpath.aead_ctx_reuse` /
+/// `hotpath.undecryptable`. alloc_bytes counts capacity growth of the
+/// reusable scratch buffers — zero growth in steady state means the
+/// packet path ran allocation-free. undecryptable counts received
+/// packets that failed AEAD open or arrived without usable keys (e.g.
+/// corrupted in flight, or reordered ahead of the key-bearing flight);
+/// they are dropped and counted, never abort the attempt.
 struct HotpathStats {
   uint64_t alloc_bytes = 0;
   uint64_t aead_ctx_reuse = 0;
+  uint64_t undecryptable = 0;
 };
 
 /// Seals/opens packets for one direction of one encryption level.

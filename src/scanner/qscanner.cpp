@@ -16,17 +16,25 @@ std::string to_string(QscanOutcome outcome) {
     case QscanOutcome::kCryptoError0x128: return "Crypto Error (0x128)";
     case QscanOutcome::kVersionMismatch: return "Version Mismatch";
     case QscanOutcome::kOther: return "Other";
+    case QscanOutcome::kRateLimited: return "Rate Limited";
+    case QscanOutcome::kDegraded: return "Degraded";
+    case QscanOutcome::kCount: break;  // sentinel, not a class
   }
   return "?";
 }
 
 QScanner::QScanner(netsim::Network& network, QscanOptions options)
-    : network_(network), options_(std::move(options)) {
+    : network_(network),
+      options_(std::move(options)),
+      breaker_(options_.breaker) {
   auto* metrics = options_.metrics;
   metric_attempts_ = telemetry::maybe_counter(metrics, "qscan.attempts");
-  for (int i = 0; i < 5; ++i)
+  for (size_t i = 0; i < kQscanOutcomeCount; ++i)
     metric_outcomes_[i] = telemetry::maybe_counter(
         metrics, "qscan.outcome." + to_string(static_cast<QscanOutcome>(i)));
+  metric_retries_ = telemetry::maybe_counter(metrics, "qscan.retries");
+  metric_breaker_trips_ =
+      telemetry::maybe_counter(metrics, "qscan.breaker_trips");
   // Bucket bounds follow the sim's RTT scale: the fastest handshakes
   // complete in one ~20ms round trip, timeouts sit at 3s.
   metric_handshake_rtt_ = telemetry::maybe_histogram(
@@ -41,6 +49,8 @@ QScanner::QScanner(netsim::Network& network, QscanOptions options)
       telemetry::maybe_counter(metrics, "hotpath.alloc_bytes");
   metric_hotpath_aead_reuse_ =
       telemetry::maybe_counter(metrics, "hotpath.aead_ctx_reuse");
+  metric_hotpath_undecryptable_ =
+      telemetry::maybe_counter(metrics, "hotpath.undecryptable");
 }
 
 bool QScanner::compatible(const QscanTarget& target) const {
@@ -60,7 +70,7 @@ quic::Version QScanner::pick_version(const QscanTarget& target) const {
   return options_.supported_versions.front();
 }
 
-QscanResult QScanner::scan_one(const QscanTarget& target) {
+QscanResult QScanner::attempt_once(const QscanTarget& target) {
   ++attempts_;
   telemetry::add(metric_attempts_);
   // Ephemeral ports and connection entropy are drawn from the
@@ -195,7 +205,6 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
     }
   }
 
-  telemetry::add(metric_outcomes_[static_cast<int>(result.outcome)]);
   if (result.outcome == QscanOutcome::kSuccess)
     telemetry::observe(metric_handshake_rtt_, finish_us - start_us);
   telemetry::observe(metric_packets_per_attempt_,
@@ -206,6 +215,52 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
                  connection.hotpath_stats().alloc_bytes);
   telemetry::add(metric_hotpath_aead_reuse_,
                  connection.hotpath_stats().aead_ctx_reuse);
+  telemetry::add(metric_hotpath_undecryptable_,
+                 connection.hotpath_stats().undecryptable);
+  return result;
+}
+
+QscanResult QScanner::scan_one(const QscanTarget& target) {
+  const uint32_t asn = options_.asn_of ? options_.asn_of(target.address) : 0;
+  const bool was_open = breaker_.is_open(asn);
+  if (!breaker_.allow(asn)) {
+    // Skip-and-record: no socket, no wire traffic, no virtual time --
+    // the campaign keeps its deadline while the provider cools off.
+    QscanResult result;
+    result.target = target;
+    result.outcome = QscanOutcome::kDegraded;
+    result.attempts = 0;
+    telemetry::add(
+        metric_outcomes_[static_cast<size_t>(QscanOutcome::kDegraded)]);
+    return result;
+  }
+
+  QscanResult result = attempt_once(target);
+  int attempts_made = 1;
+  // Only timeouts are retried: every other outcome is a conclusive
+  // server statement, and a later attempt could not improve on it
+  // (outcome reconciliation: conclusive beats timeout, first
+  // conclusive wins).
+  while (attempts_made < options_.retry.max_attempts &&
+         result.outcome == QscanOutcome::kTimeout) {
+    auto& loop = network_.loop();
+    loop.run_until(loop.now_us() +
+                   options_.retry.backoff_us(target.address, attempts_made));
+    telemetry::add(metric_retries_);
+    result = attempt_once(target);
+    ++attempts_made;
+  }
+  result.attempts = attempts_made;
+
+  // A timeout on a half-open probe means the provider is still
+  // shedding: classify as rate-limited rather than a plain timeout.
+  if (was_open && result.outcome == QscanOutcome::kTimeout)
+    result.outcome = QscanOutcome::kRateLimited;
+  const bool failure = result.outcome == QscanOutcome::kTimeout ||
+                       result.outcome == QscanOutcome::kRateLimited;
+  if (breaker_.record(asn, !failure)) telemetry::add(metric_breaker_trips_);
+
+  telemetry::add(metric_outcomes_[static_cast<size_t>(result.outcome)]);
   return result;
 }
 

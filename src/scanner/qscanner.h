@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "http/headers.h"
 #include "netsim/network.h"
 #include "quic/connection.h"
 #include "scanner/ethics.h"
+#include "scanner/resilience.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -27,14 +30,26 @@ struct QscanTarget {
   std::vector<quic::Version> version_hint;
 };
 
-/// Table 3 outcome classes.
+/// Table 3 outcome classes, plus the resilience layer's degradation
+/// classes. kCount is a sentinel: metric arrays size themselves from it
+/// so adding a class can never silently drop a counter.
 enum class QscanOutcome {
   kSuccess,
   kTimeout,
   kCryptoError0x128,
   kVersionMismatch,
   kOther,
+  /// Timed out while this AS's circuit breaker was open: the provider
+  /// is shedding probes and this was the (failed) half-open probe.
+  kRateLimited,
+  /// Skipped-and-recorded by the open breaker -- no wire traffic, no
+  /// virtual time spent, the campaign keeps its deadline.
+  kDegraded,
+  kCount,
 };
+
+inline constexpr size_t kQscanOutcomeCount =
+    static_cast<size_t>(QscanOutcome::kCount);
 
 std::string to_string(QscanOutcome outcome);
 
@@ -45,6 +60,9 @@ struct QscanResult {
   /// Parsed from the HTTP response when the HEAD request succeeded.
   std::optional<std::string> server_header;
   bool http_ok = false;
+  /// Wire attempts this result consumed (1 without retries; 0 when the
+  /// breaker skipped the target).
+  int attempts = 1;
 };
 
 struct QscanOptions {
@@ -68,6 +86,14 @@ struct QscanOptions {
   /// Produces one TraceSink per attempt (e.g. telemetry::QlogDir); an
   /// empty factory disables tracing entirely.
   telemetry::TraceSinkFactory trace_factory;
+  /// Retry schedule for timed-out targets; the default (one attempt)
+  /// keeps campaigns byte-identical to the pre-retry scanner.
+  RetryPolicy retry;
+  /// Per-AS circuit breaker (disabled by default). Needs `asn_of` to
+  /// attribute targets; with no mapping every target lands in AS 0 and
+  /// the breaker degrades the whole campaign at once.
+  AsCircuitBreaker::Options breaker;
+  std::function<uint32_t(const netsim::IpAddress&)> asn_of;
 };
 
 class QScanner {
@@ -82,17 +108,25 @@ class QScanner {
   std::vector<QscanResult> scan(std::span<const QscanTarget> targets);
 
   uint64_t attempts() const { return attempts_; }
+  const AsCircuitBreaker& breaker() const { return breaker_; }
 
  private:
   quic::Version pick_version(const QscanTarget& target) const;
+  /// One wire attempt (the pre-resilience scan_one); scan_one wraps it
+  /// with the retry budget and the circuit breaker.
+  QscanResult attempt_once(const QscanTarget& target);
 
   netsim::Network& network_;
   QscanOptions options_;
   uint64_t attempts_ = 0;
+  AsCircuitBreaker breaker_;
 
   telemetry::Counter* metric_attempts_ = nullptr;
-  /// Indexed by QscanOutcome; "qscan.outcome.<name>" counters.
-  telemetry::Counter* metric_outcomes_[5] = {};
+  /// Indexed by QscanOutcome; "qscan.outcome.<name>" counters. Sized by
+  /// the enum sentinel so new classes cannot silently drop counters.
+  telemetry::Counter* metric_outcomes_[kQscanOutcomeCount] = {};
+  telemetry::Counter* metric_retries_ = nullptr;
+  telemetry::Counter* metric_breaker_trips_ = nullptr;
   telemetry::Histogram* metric_handshake_rtt_ = nullptr;
   telemetry::Histogram* metric_packets_per_attempt_ = nullptr;
   telemetry::Histogram* metric_bytes_per_attempt_ = nullptr;
@@ -102,6 +136,7 @@ class QScanner {
   /// packet path runs allocation-free in steady state.
   telemetry::Counter* metric_hotpath_alloc_bytes_ = nullptr;
   telemetry::Counter* metric_hotpath_aead_reuse_ = nullptr;
+  telemetry::Counter* metric_hotpath_undecryptable_ = nullptr;
 };
 
 }  // namespace scanner

@@ -1,0 +1,63 @@
+#include "scanner/resilience.h"
+
+#include <algorithm>
+
+#include "crypto/rng.h"
+
+namespace scanner {
+
+uint64_t RetryPolicy::backoff_us(const netsim::IpAddress& target,
+                                 int attempt) const {
+  uint64_t cap = base_backoff_us;
+  for (int i = 1; i < attempt && cap < max_backoff_us; ++i) cap *= 2;
+  cap = std::min(std::max<uint64_t>(cap, 2), max_backoff_us);
+  // Decorrelated jitter in [cap/2, cap], counter-based over
+  // (jitter_seed, target, attempt): identical at any shard count.
+  uint64_t state = jitter_seed ^ netsim::address_key64(target) ^
+                   static_cast<uint64_t>(attempt) * 0x9e3779b97f4a7c15ull;
+  crypto::splitmix64(state);
+  const uint64_t jitter = crypto::splitmix64(state) % (cap / 2 + 1);
+  return cap / 2 + jitter;
+}
+
+bool AsCircuitBreaker::is_open(uint32_t asn) const {
+  if (!options_.enabled) return false;
+  auto it = state_.find(asn);
+  return it != state_.end() && it->second.open;
+}
+
+bool AsCircuitBreaker::allow(uint32_t asn) {
+  if (!options_.enabled) return true;
+  auto& as_state = state_[asn];
+  if (!as_state.open) return true;
+  // Half-open cadence: the first target after the trip is skipped; the
+  // half_open_every-th probes the AS again.
+  ++as_state.since_open;
+  if (options_.half_open_every > 0 &&
+      as_state.since_open % options_.half_open_every == 0)
+    return true;
+  ++skipped_;
+  return false;
+}
+
+bool AsCircuitBreaker::record(uint32_t asn, bool success) {
+  if (!options_.enabled) return false;
+  auto& as_state = state_[asn];
+  if (success) {
+    as_state.consecutive_failures = 0;
+    as_state.open = false;
+    as_state.since_open = 0;
+    return false;
+  }
+  ++as_state.consecutive_failures;
+  if (!as_state.open &&
+      as_state.consecutive_failures >= options_.failure_threshold) {
+    as_state.open = true;
+    as_state.since_open = 0;
+    ++trips_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace scanner

@@ -8,6 +8,7 @@ TcpTlsScanner::TcpTlsScanner(netsim::Network& network, TcpTlsOptions options)
     : network_(network), options_(std::move(options)) {
   auto* metrics = options_.metrics;
   metric_attempts_ = telemetry::maybe_counter(metrics, "tcp.attempts");
+  metric_retries_ = telemetry::maybe_counter(metrics, "tcp.retries");
   metric_port_open_ = telemetry::maybe_counter(metrics, "tcp.port_open");
   metric_handshake_ok_ =
       telemetry::maybe_counter(metrics, "tcp.handshake_ok");
@@ -24,7 +25,7 @@ std::vector<netsim::IpAddress> TcpTlsScanner::syn_scan(
   return open;
 }
 
-TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
+TcpTlsResult TcpTlsScanner::attempt_once(const TcpTarget& target) {
   ++attempts_;
   telemetry::add(metric_attempts_);
   TcpTlsResult result;
@@ -98,6 +99,23 @@ TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
          {"error_code",
           result.alert ? static_cast<uint64_t>(*result.alert) : 0},
          {"http_ok", result.http_ok}});
+  }
+  return result;
+}
+
+TcpTlsResult TcpTlsScanner::scan_one(const TcpTarget& target) {
+  TcpTlsResult result = attempt_once(target);
+  // A closed port is the one failure a SYN-level probe cannot tell from
+  // transient loss, so that is what the retry budget covers. TLS alerts
+  // and HTTP failures are conclusive server statements.
+  for (int attempt = 1;
+       attempt < options_.retry.max_attempts && !result.port_open;
+       ++attempt) {
+    auto& loop = network_.loop();
+    loop.run_until(loop.now_us() +
+                   options_.retry.backoff_us(target.address, attempt));
+    telemetry::add(metric_retries_);
+    result = attempt_once(target);
   }
   return result;
 }

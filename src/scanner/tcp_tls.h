@@ -13,6 +13,7 @@
 #include "http/alt_svc.h"
 #include "http/headers.h"
 #include "netsim/network.h"
+#include "scanner/resilience.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "tls/endpoint.h"
@@ -45,6 +46,10 @@ struct TcpTlsOptions {
   /// Optional telemetry; null/empty disables with one check per hook.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::TraceSinkFactory trace_factory;
+  /// Shared retry schedule: closed ports (the one transient failure a
+  /// SYN-level scan can see) are re-tried with deterministic backoff.
+  /// Default = single attempt, byte-identical to the seed scanner.
+  RetryPolicy retry;
 };
 
 class TcpTlsScanner {
@@ -59,10 +64,13 @@ class TcpTlsScanner {
   std::vector<TcpTlsResult> scan(std::span<const TcpTarget> targets);
 
  private:
+  TcpTlsResult attempt_once(const TcpTarget& target);
+
   netsim::Network& network_;
   TcpTlsOptions options_;
   uint64_t attempts_ = 0;
   telemetry::Counter* metric_attempts_ = nullptr;
+  telemetry::Counter* metric_retries_ = nullptr;
   telemetry::Counter* metric_port_open_ = nullptr;
   telemetry::Counter* metric_handshake_ok_ = nullptr;
   telemetry::Counter* metric_alerts_ = nullptr;

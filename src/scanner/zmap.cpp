@@ -15,6 +15,8 @@ ZmapQuicScanner::ZmapQuicScanner(netsim::Network& network, ZmapOptions options)
   metric_responses_ = telemetry::maybe_counter(metrics, "zmap.responses");
   metric_malformed_ = telemetry::maybe_counter(metrics, "zmap.malformed");
   metric_blocked_ = telemetry::maybe_counter(metrics, "zmap.blocked");
+  metric_retry_rounds_ =
+      telemetry::maybe_counter(metrics, "zmap.retry_rounds");
 }
 
 std::vector<uint8_t> ZmapQuicScanner::build_probe(crypto::Rng& rng) const {
@@ -82,29 +84,47 @@ std::vector<ZmapHit> ZmapQuicScanner::scan(
 
   crypto::Rng rng(options_.seed);
   RateLimiter limiter(options_.packets_per_second);
-  uint64_t base = loop.now_us();
-  for (size_t i = 0; i < filtered.size(); ++i) {
-    auto addr = filtered[i];
-    loop.schedule_at(base + limiter.send_time_us(i), [this, &rng, addr,
-                                                      &socket, &tracer] {
-      auto probe = build_probe(rng);
-      stats_.bytes_sent += probe.size();
-      ++stats_.probes_sent;
-      telemetry::add(metric_probes_);
-      telemetry::add(metric_bytes_, probe.size());
-      if (tracer.active()) {
-        tracer.emit(telemetry::EventType::kPacketSent,
-                    {{"packet_type", "initial"},
-                     {"version", quic::version_name(options_.probe_version)},
-                     {"target", addr.to_string()},
-                     {"size", probe.size()}});
-      }
-      socket->send({addr, 443}, std::move(probe));
-    });
+  // Round 0 sweeps every filtered target; later rounds (the retry
+  // policy for a stateless scan) re-probe only the non-responders, on
+  // the same rng stream, so probe_rounds = 1 is byte-identical to the
+  // single-sweep scanner.
+  std::vector<netsim::IpAddress> pending = std::move(filtered);
+  const int rounds = std::max(1, options_.probe_rounds);
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      std::vector<netsim::IpAddress> still_silent;
+      still_silent.reserve(pending.size());
+      for (const auto& addr : pending)
+        if (!hits.contains(addr)) still_silent.push_back(addr);
+      pending.swap(still_silent);
+      if (pending.empty()) break;
+      ++stats_.retry_rounds;
+      telemetry::add(metric_retry_rounds_);
+    }
+    uint64_t base = loop.now_us();
+    for (size_t i = 0; i < pending.size(); ++i) {
+      auto addr = pending[i];
+      loop.schedule_at(base + limiter.send_time_us(i), [this, &rng, addr,
+                                                        &socket, &tracer] {
+        auto probe = build_probe(rng);
+        stats_.bytes_sent += probe.size();
+        ++stats_.probes_sent;
+        telemetry::add(metric_probes_);
+        telemetry::add(metric_bytes_, probe.size());
+        if (tracer.active()) {
+          tracer.emit(telemetry::EventType::kPacketSent,
+                      {{"packet_type", "initial"},
+                       {"version", quic::version_name(options_.probe_version)},
+                       {"target", addr.to_string()},
+                       {"size", probe.size()}});
+        }
+        socket->send({addr, 443}, std::move(probe));
+      });
+    }
+    loop.run();
+    // Allow the response window to elapse (virtual time).
+    loop.run_until(loop.now_us() + options_.response_window_us);
   }
-  loop.run();
-  // Allow the response window to elapse (virtual time).
-  loop.run_until(loop.now_us() + options_.response_window_us);
 
   std::vector<ZmapHit> out;
   out.reserve(hits.size());

@@ -29,6 +29,10 @@ struct ZmapOptions {
   Blocklist blocklist;
   /// Seed for probe connection-ID entropy (previously hard-coded).
   uint64_t seed = 0x2a9a;
+  /// Sweep rounds: after the response window, non-responders are
+  /// re-probed up to probe_rounds - 1 more times (ZMap's classic
+  /// loss-recovery move for stateless scans). 1 = the seed behavior.
+  int probe_rounds = 1;
   /// Optional telemetry; both may be null/empty for zero-cost scans.
   telemetry::MetricsRegistry* metrics = nullptr;
   /// Single sink for the whole sweep (stateless scan = one trace).
@@ -47,6 +51,7 @@ struct ZmapStats {
   uint64_t responses = 0;
   uint64_t malformed = 0;
   uint64_t blocked = 0;
+  uint64_t retry_rounds = 0;  // extra rounds actually run
 };
 
 class ZmapQuicScanner {
@@ -70,6 +75,7 @@ class ZmapQuicScanner {
   telemetry::Counter* metric_responses_ = nullptr;
   telemetry::Counter* metric_malformed_ = nullptr;
   telemetry::Counter* metric_blocked_ = nullptr;
+  telemetry::Counter* metric_retry_rounds_ = nullptr;
 };
 
 }  // namespace scanner

@@ -23,6 +23,7 @@
 
 #include "engine/engine.h"
 #include "internet/internet.h"
+#include "netsim/impairment.h"
 #include "scanner/qscanner.h"
 #include "scanner/tcp_tls.h"
 #include "telemetry/metrics.h"
@@ -79,15 +80,19 @@ std::string registry_json(const telemetry::MetricsRegistry& registry) {
 }
 
 // The production shard body from qscanner_cli --targets, in miniature.
+// `impairment` and `retries` mirror the CLI's --impair/--retries flags.
 CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
                          int jobs, uint64_t seed,
-                         const std::string& qlog_dir = "") {
+                         const std::string& qlog_dir = "",
+                         const std::string& impairment = "",
+                         int retries = 0) {
   engine::CampaignOptions options;
   options.jobs = jobs;
   options.seed = seed;
   options.week = kWeek;
   options.population = kPopulation;
   options.qlog_dir = qlog_dir;
+  options.impairment = impairment;
   engine::Campaign campaign(options);
 
   std::vector<std::vector<scanner::QscanResult>> shard_rows(
@@ -97,6 +102,7 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
     qopt.seed = env.seed;
     qopt.metrics = env.metrics;
     qopt.trace_factory = env.trace_factory;
+    qopt.retry.max_attempts = 1 + retries;
     scanner::QScanner qscanner(env.internet->network(), qopt);
     auto& rows = shard_rows[static_cast<size_t>(env.shard_index)];
     for (size_t i = env.range.begin; i < env.range.end; ++i) {
@@ -119,12 +125,17 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
 // existed, and what a --jobs 1 campaign must reproduce byte for byte.
 CampaignRun run_serial_baseline(
     const std::vector<scanner::QscanTarget>& targets, uint64_t seed,
-    const std::string& qlog_dir = "") {
+    const std::string& qlog_dir = "", const std::string& impairment = "",
+    int retries = 0) {
   netsim::EventLoop loop;
   internet::Internet net(kPopulation, kWeek, loop);
   telemetry::MetricsRegistry metrics;
   loop.set_metrics(&metrics);
   net.network().set_metrics(&metrics);
+  // Same position run_shard applies it: after the metrics hookup, before
+  // any scanner traffic, so the fabric's counters land in the registry.
+  if (!impairment.empty())
+    net.apply_impairment(*netsim::find_impairment_profile(impairment));
 
   std::optional<telemetry::QlogDir> qlog;
   if (!qlog_dir.empty()) qlog.emplace(qlog_dir);
@@ -132,6 +143,7 @@ CampaignRun run_serial_baseline(
   scanner::QscanOptions qopt;
   qopt.seed = seed;
   qopt.metrics = &metrics;
+  qopt.retry.max_attempts = 1 + retries;
   if (qlog) qopt.trace_factory = qlog->factory();
   scanner::QScanner qscanner(net.network(), qopt);
 
@@ -229,6 +241,67 @@ TEST(EngineDifferential, PerShardOutputMatchesSerialRunOfShardSeed) {
     EXPECT_FALSE(shard_traces.empty());
     EXPECT_EQ(shard_traces, serial_traces);
   }
+}
+
+TEST(EngineDifferential, ImpairedJobs1MatchesSerialBaselineByteForByte) {
+  // The fault fabric under the engine: a --jobs 1 campaign with
+  // --impair/--retries must still be byte-identical to the hand-rolled
+  // serial path with the same profile applied at the same point.
+  auto targets = campaign_targets();
+  auto engine_dir = fresh_dir("engine_impaired_jobs1_qlog");
+  auto serial_dir = fresh_dir("engine_impaired_serial_qlog");
+  auto engine_run =
+      run_campaign(targets, 1, kSeed, engine_dir.string(), "hostile", 2);
+  auto serial_run =
+      run_serial_baseline(targets, kSeed, serial_dir.string(), "hostile", 2);
+
+  EXPECT_FALSE(engine_run.rows.empty());
+  EXPECT_EQ(engine_run.rows, serial_run.rows);
+  EXPECT_EQ(engine_run.metrics_json, serial_run.metrics_json);
+  auto engine_traces = dir_snapshot(engine_dir);
+  auto serial_traces = dir_snapshot(serial_dir);
+  EXPECT_FALSE(engine_traces.empty());
+  EXPECT_EQ(engine_traces, serial_traces);
+}
+
+TEST(EngineDifferential, ImpairedMergedOutputIdenticalAcrossShardCounts) {
+  // K-invariance under impairment (acceptance criterion): the fabric's
+  // counter-based RNG and the per-target retry jitter give the same
+  // drops/corruption/backoffs no matter how targets are sharded, so the
+  // merged rows and metrics cannot depend on --jobs.
+  auto targets = campaign_targets();
+  for (const std::string profile : {"bursty", "hostile", "throttled"}) {
+    SCOPED_TRACE("profile=" + profile);
+    auto serial = run_campaign(targets, 1, kSeed, "", profile, 2);
+    ASSERT_FALSE(serial.rows.empty());
+    for (int jobs : {2, 4, 8}) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      auto sharded = run_campaign(targets, jobs, kSeed, "", profile, 2);
+      EXPECT_EQ(sharded.rows, serial.rows);
+      EXPECT_EQ(sharded.metrics_json, serial.metrics_json);
+    }
+  }
+}
+
+TEST(EngineDifferential, ImpairedRunIsReproducible) {
+  // Same seed, same profile, two fresh processes-worth of state: the
+  // run must be bit-for-bit repeatable (no wall clock, no ASLR-derived
+  // hashing, no global RNG leaks into the fabric).
+  auto targets = campaign_targets();
+  auto first = run_campaign(targets, 1, kSeed, "", "hostile", 1);
+  auto second = run_campaign(targets, 1, kSeed, "", "hostile", 1);
+  EXPECT_EQ(first.rows, second.rows);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+TEST(EngineDifferential, UnknownImpairmentProfileRejectedUpFront) {
+  engine::CampaignOptions options;
+  options.jobs = 1;
+  options.seed = kSeed;
+  options.week = kWeek;
+  options.population = kPopulation;
+  options.impairment = "apocalyptic";
+  EXPECT_THROW(engine::Campaign campaign(options), std::invalid_argument);
 }
 
 TEST(EngineDifferential, EmptyTailShardsLeaveOutputUnchanged) {

@@ -4,8 +4,11 @@
 // 0x128, stall/timeout), plus TLS/transport-parameter extraction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <deque>
 
+#include "quic/assembler.h"
 #include "quic/connection.h"
 
 namespace {
@@ -440,6 +443,212 @@ TEST(Handshake, VersionInformationAdvertisedAndValidated) {
   ASSERT_TRUE(info.has_value());
   EXPECT_EQ(info->chosen, kVersion1);
   EXPECT_EQ(info->available, (std::vector<uint32_t>{kVersion1, kDraft29}));
+}
+
+std::vector<uint8_t> bytes_of(const char* text) {
+  return {reinterpret_cast<const uint8_t*>(text),
+          reinterpret_cast<const uint8_t*>(text) + std::strlen(text)};
+}
+
+TEST(CryptoAssembler, InOrderAppends) {
+  CryptoAssembler assembler;
+  EXPECT_TRUE(assembler.offer(0, bytes_of("ab")));
+  EXPECT_TRUE(assembler.offer(2, bytes_of("cd")));
+  EXPECT_EQ(assembler.assembled(), bytes_of("abcd"));
+  EXPECT_EQ(assembler.pending_chunks(), 0u);
+}
+
+TEST(CryptoAssembler, OutOfOrderStashesUntilGapCloses) {
+  CryptoAssembler assembler;
+  EXPECT_FALSE(assembler.offer(2, bytes_of("cd")));
+  EXPECT_EQ(assembler.pending_chunks(), 1u);
+  EXPECT_EQ(assembler.pending_bytes(), 2u);
+  EXPECT_TRUE(assembler.assembled().empty());
+  EXPECT_TRUE(assembler.offer(0, bytes_of("ab")));
+  EXPECT_EQ(assembler.assembled(), bytes_of("abcd"));
+  EXPECT_EQ(assembler.pending_chunks(), 0u);
+}
+
+TEST(CryptoAssembler, FullyReversedChunksReassemble) {
+  CryptoAssembler assembler;
+  EXPECT_FALSE(assembler.offer(4, bytes_of("ef")));
+  EXPECT_FALSE(assembler.offer(2, bytes_of("cd")));
+  EXPECT_EQ(assembler.pending_chunks(), 2u);
+  EXPECT_TRUE(assembler.offer(0, bytes_of("ab")));
+  EXPECT_EQ(assembler.assembled(), bytes_of("abcdef"));
+  EXPECT_EQ(assembler.pending_chunks(), 0u);
+}
+
+TEST(CryptoAssembler, DuplicatesAndStaleRetransmitsIgnored) {
+  CryptoAssembler assembler;
+  EXPECT_TRUE(assembler.offer(0, bytes_of("abc")));
+  EXPECT_FALSE(assembler.offer(0, bytes_of("abc")));  // exact dup
+  EXPECT_FALSE(assembler.offer(1, bytes_of("b")));    // stale inner
+  EXPECT_EQ(assembler.assembled(), bytes_of("abc"));
+}
+
+TEST(CryptoAssembler, OverlappingChunkTrimmedToNewTail) {
+  CryptoAssembler assembler;
+  EXPECT_TRUE(assembler.offer(0, bytes_of("abcd")));
+  EXPECT_TRUE(assembler.offer(2, bytes_of("cdef")));
+  EXPECT_EQ(assembler.assembled(), bytes_of("abcdef"));
+}
+
+TEST(CryptoAssembler, SameOffsetKeepsLongerPendingChunk) {
+  CryptoAssembler assembler;
+  EXPECT_FALSE(assembler.offer(2, bytes_of("cd")));
+  EXPECT_FALSE(assembler.offer(2, bytes_of("cdef")));
+  EXPECT_EQ(assembler.pending_chunks(), 1u);
+  EXPECT_TRUE(assembler.offer(0, bytes_of("ab")));
+  EXPECT_EQ(assembler.assembled(), bytes_of("abcdef"));
+}
+
+TEST(CryptoAssembler, ClearResetsEverything) {
+  CryptoAssembler assembler;
+  assembler.offer(3, bytes_of("xyz"));
+  assembler.offer(0, bytes_of("abc"));
+  assembler.clear();
+  EXPECT_TRUE(assembler.assembled().empty());
+  EXPECT_EQ(assembler.pending_chunks(), 0u);
+  EXPECT_TRUE(assembler.offer(0, bytes_of("fresh")));
+  EXPECT_EQ(assembler.assembled(), bytes_of("fresh"));
+}
+
+TEST(Handshake, SplitFlightInOrderStillSucceeds) {
+  // max_crypto_chunk > 0 makes the server ship EE..Finished as several
+  // single-packet datagrams instead of one coalesced flight; delivered
+  // in order this must be invisible to the client. 80 bytes splits the
+  // ~270-byte synthetic flight into four Handshake datagrams.
+  auto behavior = default_behavior();
+  behavior.max_crypto_chunk = 80;
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "www.example.com";
+  config.alpn = {"h3"};
+  config.http_request = "HEAD / HTTP/1.1\r\nhost: www.example.com\r\n\r\n";
+  auto report = run_handshake(config, behavior);
+  EXPECT_EQ(report.result, ConnectResult::kSuccess);
+  ASSERT_TRUE(report.http_response.has_value());
+}
+
+TEST(Handshake, OutOfOrderCryptoReassembledAcrossDatagrams) {
+  // The fabric's reordering regression: the server's split Handshake
+  // flight arrives back to front. The client must stash the tail
+  // chunks and finish once the gap closes -- the silent-skip that shipped
+  // before the assembler turned this exact delivery into a timeout.
+  auto behavior = default_behavior();
+  behavior.max_crypto_chunk = 80;
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "www.example.com";
+  config.alpn = {"h3"};
+  Loopback loopback(behavior, 91);
+  ClientConnection client(
+      config, crypto::Rng(91),
+      [&](std::vector<uint8_t> datagram) {
+        loopback.queue.emplace_back(true, std::move(datagram));
+      },
+      nullptr);
+  loopback.client = &client;
+  client.start();
+
+  auto is_handshake_packet = [](const std::vector<uint8_t>& datagram) {
+    auto info = peek_datagram(datagram);
+    return info && info->long_header &&
+           info->type == PacketType::kHandshake;
+  };
+  int reversed_flights = 0;
+  while (!loopback.queue.empty()) {
+    std::vector<std::vector<uint8_t>> to_server, to_client;
+    while (!loopback.queue.empty()) {
+      auto [server_bound, datagram] = std::move(loopback.queue.front());
+      loopback.queue.pop_front();
+      (server_bound ? to_server : to_client).push_back(std::move(datagram));
+    }
+    for (auto& datagram : to_server) {
+      auto info = peek_datagram(datagram);
+      if (!loopback.server ||
+          (info && info->long_header &&
+           info->type == PacketType::kInitial &&
+           info->dcid != loopback.session_dcid)) {
+        if (info) loopback.session_dcid = info->dcid;
+        loopback.server = std::make_unique<ServerConnection>(
+            behavior, crypto::Rng(92), [&](std::vector<uint8_t> reply) {
+              loopback.queue.emplace_back(false, std::move(reply));
+            });
+      }
+      loopback.server->on_datagram(datagram);
+    }
+    // Reverse the run of Handshake-packet datagrams inside the flight
+    // (the Initial must still land first: it carries the ServerHello
+    // that yields the handshake keys).
+    auto first =
+        std::find_if(to_client.begin(), to_client.end(), is_handshake_packet);
+    auto last = std::find_if(first, to_client.end(),
+                             [&](const std::vector<uint8_t>& datagram) {
+                               return !is_handshake_packet(datagram);
+                             });
+    if (std::distance(first, last) > 1) {
+      std::reverse(first, last);
+      ++reversed_flights;
+    }
+    for (auto& datagram : to_client) client.on_datagram(datagram);
+  }
+  // The flight really was split and really was reversed.
+  EXPECT_GE(reversed_flights, 1);
+  EXPECT_EQ(client.report().result, ConnectResult::kSuccess);
+  EXPECT_EQ(client.hotpath_stats().undecryptable, 0u);
+}
+
+TEST(Handshake, UndecryptableDatagramCountedNotFatal) {
+  // A corrupted copy of the server's first flight arrives before the
+  // genuine one: AEAD open fails, the attempt records it and carries
+  // on (impairment-correctness: corruption must never abort a scan).
+  auto behavior = default_behavior();
+  ClientConfig config;
+  config.version = kVersion1;
+  config.sni = "example.com";
+  config.alpn = {"h3"};
+  Loopback loopback(behavior, 55);
+  ClientConnection client(
+      config, crypto::Rng(55),
+      [&](std::vector<uint8_t> datagram) {
+        loopback.queue.emplace_back(true, std::move(datagram));
+      },
+      nullptr);
+  loopback.client = &client;
+  client.start();
+  bool corrupted_once = false;
+  while (!loopback.queue.empty()) {
+    auto [to_server, datagram] = std::move(loopback.queue.front());
+    loopback.queue.pop_front();
+    if (to_server) {
+      auto info = peek_datagram(datagram);
+      if (!loopback.server ||
+          (info && info->long_header &&
+           info->type == PacketType::kInitial &&
+           info->dcid != loopback.session_dcid)) {
+        if (info) loopback.session_dcid = info->dcid;
+        loopback.server = std::make_unique<ServerConnection>(
+            behavior, crypto::Rng(56), [&](std::vector<uint8_t> reply) {
+              loopback.queue.emplace_back(false, std::move(reply));
+            });
+      }
+      loopback.server->on_datagram(datagram);
+    } else {
+      if (!corrupted_once) {
+        corrupted_once = true;
+        auto mangled = datagram;
+        mangled.back() ^= 0x01;  // breaks the AEAD tag
+        client.on_datagram(mangled);
+        EXPECT_EQ(client.hotpath_stats().undecryptable, 1u);
+      }
+      client.on_datagram(datagram);
+    }
+  }
+  EXPECT_TRUE(corrupted_once);
+  EXPECT_EQ(client.report().result, ConnectResult::kSuccess);
+  EXPECT_EQ(client.hotpath_stats().undecryptable, 1u);
 }
 
 TEST(TransportParams, VersionInformationRoundTrip) {

@@ -4,6 +4,7 @@
 //
 //   dns_scan_cli [--week N] [--list NAME] [--https-only] [--jobs N]
 //                [--seed N] [--qlog DIR] [--metrics FILE]
+//                [--impair PROFILE] [--retries N]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
 // --jobs N shards the domain corpus across N worker threads (0 =
@@ -11,6 +12,10 @@
 // identical for every N (see DESIGN.md "Sharded campaign engine"). --seed reseeds the synthetic population;
 // --qlog writes one JSON-Lines trace per shard; --metrics dumps the
 // merged counters as JSON on exit.
+// --impair overlays a named fault-fabric profile on every server link
+// (the resolver path is zone-store backed, so this mainly matters when
+// other scanners share the snapshot); --retries N re-queries
+// empty-answer domains up to N extra times.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +25,7 @@
 
 #include "engine/engine.h"
 #include "internet/internet.h"
+#include "netsim/impairment.h"
 #include "scanner/dns_scan.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -32,6 +38,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 0x9000;
   std::string qlog_dir;
   std::string metrics_file;
+  std::string impair;
+  int retries = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--week" && i + 1 < argc) {
@@ -48,13 +56,30 @@ int main(int argc, char** argv) {
       qlog_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--impair" && i + 1 < argc) {
+      impair = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: dns_scan_cli [--week N] [--list NAME] "
                    "[--https-only] [--jobs N] [--seed N] [--qlog DIR] "
-                   "[--metrics FILE]\n");
+                   "[--metrics FILE] [--impair PROFILE] [--retries N]\n");
       return 2;
     }
+  }
+  if (!impair.empty() && !netsim::find_impairment_profile(impair)) {
+    std::fprintf(stderr, "--impair: unknown impairment profile '%s' (known:",
+                 impair.c_str());
+    for (auto known : netsim::impairment_profile_names())
+      std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
+                   known.data());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (retries < 0) {
+    std::fprintf(stderr, "--retries must be >= 0\n");
+    return 2;
   }
   if (jobs < 0) {
     std::fprintf(stderr, "--jobs must be >= 0 (0 = auto-detect)\n");
@@ -86,6 +111,7 @@ int main(int argc, char** argv) {
   campaign_options.week = week;
   campaign_options.population = {.seed = seed, .dns_corpus_scale = 0.05};
   campaign_options.qlog_dir = qlog_dir;
+  campaign_options.impairment = impair;
   engine::Campaign campaign(campaign_options);
 
   // The corpus comes from a planning snapshot; shards rebuild the
@@ -111,10 +137,13 @@ int main(int argc, char** argv) {
       std::unique_ptr<telemetry::TraceSink> trace;
       if (env.trace_factory) trace = env.trace_factory("dns_" + list);
 
+      scanner::RetryPolicy retry;
+      retry.max_attempts = 1 + retries;
       scanner::DnsScanner dns(
           env.internet->zones(), env.metrics,
           telemetry::Tracer(trace.get(), env.loop,
-                            telemetry::Vantage::kClient));
+                            telemetry::Vantage::kClient),
+          retry);
       shard_scans[static_cast<size_t>(env.shard_index)] = dns.scan_list(
           list, std::span<const std::string>(corpus.data() + env.range.begin,
                                              env.range.size()));

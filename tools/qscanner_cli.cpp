@@ -6,6 +6,7 @@
 //
 //   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
 //                [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
+//                [--impair PROFILE] [--retries N] [--breaker]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
 // --all scans every ZMap-discoverable IPv4 address without SNI.
@@ -16,6 +17,11 @@
 // hardware concurrency. --qlog writes one JSON-Lines trace per
 // attempt into DIR (per-shard subdirectories when N > 1); --metrics
 // writes the merged counter/histogram summary as JSON on exit.
+// --impair overlays a named fault-fabric profile (clean, lossy,
+// bursty, hostile, throttled) on every server link; --retries N gives
+// each timed-out target up to N extra attempts with deterministic
+// backoff; --breaker enables the per-AS circuit breaker
+// (skip-and-record when a provider keeps timing out).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +33,7 @@
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "internet/tp_catalog.h"
+#include "netsim/impairment.h"
 #include "scanner/qscanner.h"
 #include "scanner/zmap.h"
 #include "telemetry/metrics.h"
@@ -73,13 +80,34 @@ void print_row(const scanner::QscanResult& result) {
 }
 
 scanner::QscanOptions scan_options(const engine::ShardEnv& env,
-                                   bool send_http) {
+                                   bool send_http, int retries,
+                                   bool breaker) {
   scanner::QscanOptions options;
   options.send_http_head = send_http;
   options.seed = env.seed;
   options.metrics = env.metrics;
   options.trace_factory = env.trace_factory;
+  options.retry.max_attempts = 1 + retries;
+  options.breaker.enabled = breaker;
+  if (breaker) {
+    // Attribute each target to its AS via the shard's own internet
+    // snapshot; unknown addresses land in AS 0.
+    internet::Internet* internet = env.internet;
+    options.asn_of = [internet](const netsim::IpAddress& addr) {
+      const auto* host = internet->host_for(addr);
+      return host ? host->profile().asn : 0u;
+    };
+  }
   return options;
+}
+
+void report_unknown_profile(const char* flag, const std::string& name) {
+  std::fprintf(stderr, "%s: unknown impairment profile '%s' (known:",
+               flag, name.c_str());
+  for (auto known : netsim::impairment_profile_names())
+    std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
+                 known.data());
+  std::fprintf(stderr, ")\n");
 }
 
 }  // namespace
@@ -93,6 +121,9 @@ int main(int argc, char** argv) {
   uint64_t seed = 0x5ca9;
   std::string qlog_dir;
   std::string metrics_file;
+  std::string impair;
+  int retries = 0;
+  bool breaker = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -112,13 +143,28 @@ int main(int argc, char** argv) {
       qlog_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--impair" && i + 1 < argc) {
+      impair = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
+    } else if (arg == "--breaker") {
+      breaker = true;
     } else {
       std::fprintf(stderr,
                    "usage: qscanner_cli [--week N] [--all | --targets FILE] "
                    "[--no-http] [--jobs N] [--seed N] [--qlog DIR] "
-                   "[--metrics FILE]\n");
+                   "[--metrics FILE] [--impair PROFILE] [--retries N] "
+                   "[--breaker]\n");
       return 2;
     }
+  }
+  if (!impair.empty() && !netsim::find_impairment_profile(impair)) {
+    report_unknown_profile("--impair", impair);
+    return 2;
+  }
+  if (retries < 0) {
+    std::fprintf(stderr, "--retries must be >= 0\n");
+    return 2;
   }
   if (!scan_all && targets_file.empty()) scan_all = true;
   if (jobs < 0) {
@@ -151,6 +197,7 @@ int main(int argc, char** argv) {
   campaign_options.week = week;
   campaign_options.population = {.dns_corpus_scale = 0.01};
   campaign_options.qlog_dir = qlog_dir;
+  campaign_options.impairment = impair;
   engine::Campaign campaign(campaign_options);
 
   // Per-shard output slots: each shard body writes only to its own
@@ -181,8 +228,9 @@ int main(int argc, char** argv) {
         auto hits = zmap.scan(std::span<const netsim::IpAddress>(
             candidates.data() + env.range.begin, env.range.size()));
 
-        scanner::QScanner qscanner(env.internet->network(),
-                                   scan_options(env, send_http));
+        scanner::QScanner qscanner(
+            env.internet->network(),
+            scan_options(env, send_http, retries, breaker));
         auto& rows_out = shard_rows[static_cast<size_t>(env.shard_index)];
         for (const auto& hit : hits) {
           scanner::QscanTarget target{hit.address, std::nullopt,
@@ -227,8 +275,9 @@ int main(int argc, char** argv) {
       }
 
       campaign.run(targets.size(), [&](engine::ShardEnv& env) {
-        scanner::QScanner qscanner(env.internet->network(),
-                                   scan_options(env, send_http));
+        scanner::QScanner qscanner(
+            env.internet->network(),
+            scan_options(env, send_http, retries, breaker));
         auto& rows_out = shard_rows[static_cast<size_t>(env.shard_index)];
         for (size_t i = env.range.begin; i < env.range.end; ++i) {
           if (!qscanner.compatible(targets[i])) continue;
@@ -260,7 +309,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "# scanned %zu targets, %llu attempts\n", scanned,
                static_cast<unsigned long long>(attempts));
   const auto& metrics = campaign.metrics();
-  for (int i = 0; i < 5; ++i) {
+  for (size_t i = 0; i < scanner::kQscanOutcomeCount; ++i) {
     auto name =
         scanner::to_string(static_cast<scanner::QscanOutcome>(i));
     const auto* counter = metrics.find_counter("qscan.outcome." + name);

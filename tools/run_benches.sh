@@ -6,9 +6,10 @@
 #
 # The Google-Benchmark binaries (micro_codec, micro_scanner,
 # micro_telemetry) emit their standard JSON via --benchmark_out; the
-# wall-clock campaign benches (micro_engine, micro_hotpath) write their
-# own JSON summaries. All artifacts land in the repository root as
-# BENCH_<name>.json so diffs of a perf PR show the numbers moving.
+# wall-clock campaign benches (micro_engine, micro_hotpath, micro_chaos)
+# write their own JSON summaries. All artifacts land in the repository
+# root as BENCH_<name>.json so diffs of a perf PR show the numbers
+# moving.
 #
 # Benches also exist as ctest entries labeled `bench` (ctest -L bench),
 # but that path drops the JSON in the build tree; this script is the
@@ -21,7 +22,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target \
-  micro_codec micro_scanner micro_telemetry micro_engine micro_hotpath
+  micro_codec micro_scanner micro_telemetry micro_engine micro_hotpath \
+  micro_chaos
 
 # Google-Benchmark timing suites: standard JSON reporter.
 for name in codec scanner telemetry; do
@@ -36,6 +38,8 @@ echo "== micro_engine"
 "$BUILD/bench/micro_engine" "$ROOT/BENCH_engine.json"
 echo "== micro_hotpath"
 "$BUILD/bench/micro_hotpath" "$ROOT/BENCH_hotpath.json"
+echo "== micro_chaos"
+"$BUILD/bench/micro_chaos" "$ROOT/BENCH_chaos.json"
 
 echo "refreshed:"
 ls -1 "$ROOT"/BENCH_*.json

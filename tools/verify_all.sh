@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# verify_all.sh: the PR gate. Builds three trees and runs the fast lane
+# plus the chaos lane in each:
+#
+#   build/        plain (tier-1 reference configuration)
+#   build-asan/   -DSANITIZE=address,undefined
+#   build-tsan/   -DSANITIZE=thread
+#
+#   tools/verify_all.sh [--fast]
+#
+# --fast skips the chaos lane (impaired 10k-target soaks) and runs only
+# the fast lane in each tree. The soak and bench labels are never run
+# here -- they have their own entry points (ctest -L soak,
+# tools/run_benches.sh).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_CHAOS=1
+[[ "${1:-}" == "--fast" ]] && RUN_CHAOS=0
+
+verify_tree() {
+  local dir="$1"; shift
+  echo "=== $dir: configure + build"
+  cmake -S "$ROOT" -B "$ROOT/$dir" "$@" >/dev/null
+  cmake --build "$ROOT/$dir" -j"$JOBS"
+  echo "=== $dir: fast lane (ctest -LE 'soak|bench|chaos')"
+  (cd "$ROOT/$dir" && ctest --output-on-failure -j"$JOBS" \
+      -LE 'soak|bench|chaos')
+  if [[ "$RUN_CHAOS" == 1 ]]; then
+    echo "=== $dir: chaos lane (ctest -L chaos)"
+    (cd "$ROOT/$dir" && ctest --output-on-failure -L chaos)
+  fi
+}
+
+verify_tree build
+verify_tree build-asan -DSANITIZE=address,undefined
+verify_tree build-tsan -DSANITIZE=thread
+
+echo "verify_all: all trees green"

@@ -5,6 +5,7 @@
 //   zmap_quic_cli [--week N] [--no-padding] [--pps N]
 //                 [--blocklist CIDR[,CIDR...]] [--ipv6] [--csv]
 //                 [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
+//                 [--impair PROFILE] [--retries N]
 //
 // --jobs N shards the sweep space across N worker threads, like the
 // real ZMap's sender shards; the merged responder list and metrics are
@@ -13,6 +14,9 @@
 // --qlog writes one JSON-Lines trace per shard (the module is
 // stateless, so each shard's probes and VN responses share one file);
 // --metrics dumps the merged counters as JSON on exit.
+// --impair overlays a named fault-fabric profile (clean, lossy,
+// bursty, hostile, throttled) on every server link; --retries N
+// re-probes non-responders in up to N extra sweep rounds.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,6 +26,7 @@
 
 #include "engine/engine.h"
 #include "internet/internet.h"
+#include "netsim/impairment.h"
 #include "scanner/zmap.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -33,7 +38,8 @@ void usage() {
                "usage: zmap_quic_cli [--week N] [--no-padding] [--pps N]\n"
                "                     [--blocklist CIDR[,CIDR...]] [--ipv6]\n"
                "                     [--csv] [--jobs N] [--seed N]\n"
-               "                     [--qlog DIR] [--metrics FILE]\n");
+               "                     [--qlog DIR] [--metrics FILE]\n"
+               "                     [--impair PROFILE] [--retries N]\n");
 }
 
 }  // namespace
@@ -49,6 +55,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 0x2a9a;
   std::string qlog_dir;
   std::string metrics_file;
+  std::string impair;
+  int retries = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -62,6 +70,10 @@ int main(int argc, char** argv) {
       qlog_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--impair" && i + 1 < argc) {
+      impair = argv[++i];
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::atoi(argv[++i]);
     } else if (arg == "--no-padding") {
       padding = false;
     } else if (arg == "--pps" && i + 1 < argc) {
@@ -90,6 +102,19 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+  if (!impair.empty() && !netsim::find_impairment_profile(impair)) {
+    std::fprintf(stderr, "--impair: unknown impairment profile '%s' (known:",
+                 impair.c_str());
+    for (auto known : netsim::impairment_profile_names())
+      std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
+                   known.data());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (retries < 0) {
+    std::fprintf(stderr, "--retries must be >= 0\n");
+    return 2;
   }
   if (jobs < 0) {
     std::fprintf(stderr, "--jobs must be >= 0 (0 = auto-detect)\n");
@@ -121,6 +146,7 @@ int main(int argc, char** argv) {
   campaign_options.week = week;
   campaign_options.population = {.dns_corpus_scale = 0.01};
   campaign_options.qlog_dir = qlog_dir;
+  campaign_options.impairment = impair;
   engine::Campaign campaign(campaign_options);
 
   // The sweep space comes from a planning snapshot; every shard
@@ -147,6 +173,7 @@ int main(int argc, char** argv) {
       options.seed = env.seed;
       options.metrics = env.metrics;
       options.trace_sink = sweep_trace.get();
+      options.probe_rounds = 1 + retries;
       scanner::ZmapQuicScanner zmap(env.internet->network(),
                                     std::move(options));
       shard_hits[static_cast<size_t>(env.shard_index)] =
@@ -174,6 +201,7 @@ int main(int argc, char** argv) {
     stats.responses += shard.responses;
     stats.malformed += shard.malformed;
     stats.blocked += shard.blocked;
+    stats.retry_rounds += shard.retry_rounds;
   }
 
   if (csv) {
