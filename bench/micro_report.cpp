@@ -1,0 +1,215 @@
+// micro_report: cost model of the streaming report pipeline (src/report).
+//
+//   ./micro_report [output.json]
+//
+// Two questions the PR's design hinges on:
+//
+//   1. Per-event cost of ReportAccumulator::add_row on the scan hot
+//      path -- the --report flag rides inside the shard bodies, so it
+//      must stay cheap next to a stateful scan attempt (hundreds of
+//      microseconds each). Reported as events/s plus the fingerprint
+//      classifier's share (fingerprint_of_config per successful row).
+//
+//   2. merge_from cost as the shard count grows: the fold runs once at
+//      campaign end, in shard-index order, so its cost is what --jobs N
+//      adds over --jobs 1. Measured by distributing the same row stream
+//      over 1/2/4/8/16 accumulators and timing the fold (the merged
+//      report is held byte-identical across shard counts while at it --
+//      the same contract tests/test_engine_soak.cpp enforces at 10k
+//      campaign scale).
+//
+// Rows are synthesized deterministically (xorshift, fixed seed) with
+// the cardinalities of a real campaign week: a few thousand distinct
+// addresses, the full tp_catalog() id range, the Table 3 outcome mix.
+// Only wall-clock timing varies across runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/fingerprint.h"
+#include "report/report.h"
+
+namespace {
+
+constexpr uint64_t kSeed = 0x5ca9;
+constexpr size_t kRows = 200'000;
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Event {
+  report::QscanRowFeatures row;
+  uint32_t asn = 0;
+};
+
+// Deterministic row stream with campaign-week cardinalities: ~4k
+// distinct addresses, 46 tp_config ids (-1..44), five outcome classes
+// weighted towards Success like Table 3.
+std::vector<Event> synthesize_rows() {
+  uint64_t state = kSeed * 0x9e3779b97f4a7c15ull + 1;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const char* outcomes[] = {"Success", "Success", "Success", "Timeout",
+                            "Crypto Error (0x128)", "Rate Limited",
+                            "Degraded"};
+  std::vector<Event> events;
+  events.reserve(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    Event event;
+    auto& row = event.row;
+    row.address = "10." + std::to_string(next() % 16) + "." +
+                  std::to_string(next() % 256) + "." +
+                  std::to_string(next() % 250);
+    row.sni = next() % 4 ? "host-" + std::to_string(next() % 512) + ".example"
+                         : "";
+    row.outcome = outcomes[next() % 7];
+    if (row.success()) {
+      row.version = next() % 3 ? "draft-29" : "ietf-01";
+      row.alpn = next() % 5 ? "h3" : "h3-29";
+      row.cert_cn = row.sni;
+      row.tp_config = static_cast<int>(next() % 46) - 1;
+      row.initial_max_data = 1024u << (next() % 8);
+      row.max_udp_payload = next() % 2 ? 1472 : 65527;
+      row.server = next() % 3 ? "nginx" : "LiteSpeed";
+    }
+    event.asn = static_cast<uint32_t>(13335 + next() % 240);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+double best_of_three(const std::vector<Event>& events,
+                     report::ReportAccumulator (*run)(
+                         const std::vector<Event>&)) {
+  double best = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto start = Clock::now();
+    auto acc = run(events);
+    double ms = elapsed_ms(start);
+    if (acc.rows() != events.size()) std::abort();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+report::ReportAccumulator feed_all(const std::vector<Event>& events) {
+  report::ReportAccumulator acc("qscanner");
+  for (const auto& event : events) acc.add_row(event.row, event.asn);
+  return acc;
+}
+
+std::string report_json(const report::ReportAccumulator& acc) {
+  std::ostringstream out;
+  report::write_report_json(out, acc);
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_report.json";
+  auto events = synthesize_rows();
+
+  // 1. Streaming ingest: events/s through add_row.
+  double add_ms = best_of_three(events, feed_all);
+  double events_per_sec =
+      static_cast<double>(events.size()) / (add_ms / 1000.0);
+  std::printf("micro_report: add_row        %8.1f ms  %11.0f events/s\n",
+              add_ms, events_per_sec);
+
+  // Classifier share: the exact-match catalog lookup per successful row.
+  {
+    uint64_t known = 0;
+    const uint64_t iters = 2'000'000;
+    auto start = Clock::now();
+    for (uint64_t i = 0; i < iters; ++i)
+      known += report::fingerprint_of_config(
+                   static_cast<int>(i % 48) - 2).known();
+    double ms = elapsed_ms(start);
+    if (known == 0) std::abort();
+    std::printf("micro_report: fingerprint    %8.1f ns/op\n",
+                ms * 1e6 / static_cast<double>(iters));
+  }
+
+  // 2. merge_from cost vs shard count, with the byte-identity contract
+  //    checked in passing.
+  auto baseline = report_json(feed_all(events));
+  std::map<int, double> merge_ms;
+  for (int shards : {1, 2, 4, 8, 16}) {
+    std::vector<report::ReportAccumulator> slots;
+    for (int s = 0; s < shards; ++s)
+      slots.emplace_back("qscanner");
+    for (size_t i = 0; i < events.size(); ++i)
+      slots[i % static_cast<size_t>(shards)].add_row(events[i].row,
+                                                     events[i].asn);
+    double best = 0;
+    std::string merged_json;
+    for (int round = 0; round < 3; ++round) {
+      auto start = Clock::now();
+      report::ReportAccumulator merged;
+      for (const auto& slot : slots) merged.merge_from(slot);
+      double ms = elapsed_ms(start);
+      if (round == 0 || ms < best) best = ms;
+      if (round == 0) merged_json = report_json(merged);
+    }
+    if (merged_json != baseline) {
+      std::fprintf(stderr,
+                   "FATAL: merged report drifted at %d shards\n", shards);
+      return 1;
+    }
+    merge_ms[shards] = best;
+    std::printf("micro_report: merge x%-2d      %8.2f ms\n", shards, best);
+  }
+
+  // Render cost (once per campaign, off the hot path).
+  double render_ms;
+  {
+    auto acc = feed_all(events);
+    auto start = Clock::now();
+    std::string json = report_json(acc);
+    render_ms = elapsed_ms(start);
+    if (json != baseline) std::abort();
+    std::printf("micro_report: render_json    %8.2f ms\n", render_ms);
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  char line[160];
+  out << "{\n  \"bench\": \"micro_report\",\n"
+      << "  \"rows\": " << events.size() << ",\n";
+  std::snprintf(line, sizeof line,
+                "  \"add_wall_ms\": %.1f,\n"
+                "  \"add_events_per_sec\": %.0f,\n"
+                "  \"render_json_ms\": %.2f,\n",
+                add_ms, events_per_sec, render_ms);
+  out << line;
+  out << "  \"merge_ms_by_shards\": {\n";
+  size_t emitted = 0;
+  for (const auto& [shards, ms] : merge_ms) {
+    std::snprintf(line, sizeof line, "    \"%d\": %.2f%s\n", shards, ms,
+                  ++emitted < merge_ms.size() ? "," : "");
+    out << line;
+  }
+  out << "  },\n"
+      << "  \"note\": \"deterministic synthetic row stream (fixed seed); "
+         "merged report verified byte-identical across shard counts; "
+         "timings are best of three\"\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,54 +1,108 @@
-// Longitudinal tracking: replay the measurement weeks and watch the
-// standardization land -- Cloudflare flipping "Version 1" on before RFC
-// 9000 shipped, Akamai adding draft-29 next to gQUIC, and HTTPS DNS RR
-// adoption creeping up (sections 4.2 and 7).
+// Longitudinal tracking: replay the measurement weeks through the
+// report pipeline and watch the standardization land -- Cloudflare
+// flipping "Version 1" on before RFC 9000 shipped, Akamai adding
+// draft-29 next to gQUIC, and HTTPS DNS RR adoption creeping up
+// (sections 4.2 and 7).
+//
+// Each week is one report::ReportAccumulator fed from the ZMap sweep
+// and the Alexa DNS scan -- the same subsystem behind the CLIs'
+// --report flag -- so the weekly numbers come out of the version
+// -support matrix and Figure 3 stats instead of ad-hoc counting, and
+// the week 5 -> 18 drift prints through the report diff (the weekly
+// workflow of qreport_cli --baseline).
 //
 //   ./build/examples/weekly_tracking
 #include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "internet/internet.h"
+#include "report/report.h"
 #include "scanner/dns_scan.h"
 #include "scanner/zmap.h"
+
+namespace {
+
+// One calendar week, aggregated by the report pipeline.
+report::ReportAccumulator scan_week(int week) {
+  netsim::EventLoop loop;
+  internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
+  const auto& registry = internet.population().as_registry();
+
+  report::ReportAccumulator acc("zmap");
+  scanner::ZmapQuicScanner zmap(internet.network(), {});
+  for (const auto& hit : zmap.scan(internet.zmap_candidates_v4()))
+    acc.add_zmap_hit(hit.address.to_string(), hit.versions,
+                     registry.asn_for(hit.address));
+
+  scanner::DnsScanner dns(internet.zones());
+  for (const auto& record :
+       dns.scan_list("alexa", internet.list_corpus("alexa")).records)
+    acc.add_dns_record("alexa", record);
+  return acc;
+}
+
+uint64_t support(const report::ReportAccumulator& acc,
+                 const std::string& key) {
+  auto it = acc.version_support().find(key);
+  return it == acc.version_support().end() ? 0 : it->second;
+}
+
+std::string report_json(const report::ReportAccumulator& acc) {
+  std::ostringstream out;
+  report::write_report_json(out, acc);
+  return out.str();
+}
+
+}  // namespace
 
 int main() {
   std::printf("week  addrs   ietf-01  draft-29  gQUIC    https-rr(alexa)\n");
   std::printf("--------------------------------------------------------\n");
+  std::string week5_json, week18_json;
   for (int week : {5, 7, 9, 11, 14, 15, 16, 18}) {
-    netsim::EventLoop loop;
-    internet::Internet internet({.dns_corpus_scale = 0.01}, week, loop);
+    auto acc = scan_week(week);
 
-    scanner::ZmapQuicScanner zmap(internet.network(), {});
-    auto hits = zmap.scan(internet.zmap_candidates_v4());
-    size_t v1 = 0, d29 = 0, gquic = 0;
-    for (const auto& hit : hits) {
-      bool has_v1 = false, has_d29 = false, has_g = false;
-      for (quic::Version v : hit.versions) {
-        if (v == quic::kVersion1) has_v1 = true;
-        if (v == quic::kDraft29) has_d29 = true;
-        if (quic::is_google(v)) has_g = true;
-      }
-      v1 += has_v1;
-      d29 += has_d29;
-      gquic += has_g;
-    }
-
-    scanner::DnsScanner dns(internet.zones());
-    auto alexa = dns.scan_list("alexa", internet.list_corpus("alexa"));
-
-    auto share = [&](size_t n) {
-      return hits.empty() ? 0.0
-                          : 100.0 * static_cast<double>(n) /
-                                static_cast<double>(hits.size());
+    // The version-support matrix (Figures 5/6) and the per-list DNS
+    // stats (Figure 3) carry every number the table needs.
+    uint64_t addrs = acc.distinct_addresses();
+    const auto& alexa = acc.dns_lists().at("alexa");
+    auto share = [&](uint64_t n) {
+      return addrs ? 100.0 * static_cast<double>(n) /
+                         static_cast<double>(addrs)
+                   : 0.0;
     };
-    std::printf("%4d  %5zu   %5.1f %%  %5.1f %%   %5.1f %%  %5.1f %%\n",
-                week, hits.size(), share(v1), share(d29), share(gquic),
-                100.0 * alexa.https_rr_rate());
+    std::printf("%4d  %5llu   %5.1f %%  %5.1f %%   %5.1f %%  %5.1f %%\n",
+                week, static_cast<unsigned long long>(addrs),
+                share(support(acc, "ietf-01")),
+                share(support(acc, "draft-29")),
+                share(support(acc, "any-gquic")),
+                alexa.resolved
+                    ? 100.0 * static_cast<double>(alexa.with_https_rr) /
+                          static_cast<double>(alexa.resolved)
+                    : 0.0);
+
+    if (week == 5) week5_json = report_json(acc);
+    if (week == 18) week18_json = report_json(acc);
   }
   std::printf(
       "\nWhat to look for (paper, Figures 3/5/6): draft-29 climbing towards\n"
       "~96 %%, 'ietf-01' appearing before the RFC shipped (Cloudflare\n"
       "turned it on in week 16 despite draft 34's 'do not deploy' label),\n"
       "half the addresses still announcing gQUIC, and HTTPS-RR adoption\n"
-      "rising every week.\n");
+      "rising every week.\n\n");
+
+  // The same drift, metric by metric, as the report diff renders it --
+  // what `qreport_cli --baseline week5/report.json` prints for real
+  // campaigns.
+  std::printf("Week 5 -> week 18 drift (report diff, excerpt):\n\n");
+  std::string diff = report::render_report_diff(week5_json, week18_json);
+  int lines = 0;
+  for (size_t pos = 0; pos < diff.size() && lines < 30; ++lines) {
+    size_t end = diff.find('\n', pos);
+    if (end == std::string::npos) end = diff.size();
+    std::printf("%.*s\n", static_cast<int>(end - pos), diff.c_str() + pos);
+    pos = end + 1;
+  }
   return 0;
 }

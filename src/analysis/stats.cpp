@@ -39,7 +39,10 @@ size_t DnsJoin::distinct_domains(
 }
 
 void AsDistribution::add(const netsim::IpAddress& addr, size_t weight) {
-  uint32_t asn = registry_->asn_for(addr);
+  add_asn(registry_->asn_for(addr), weight);
+}
+
+void AsDistribution::add_asn(uint32_t asn, size_t weight) {
   counts_[asn] += weight;
   total_ += weight;
 }

@@ -49,6 +49,9 @@ class AsDistribution {
       : registry_(&registry) {}
 
   void add(const netsim::IpAddress& addr, size_t weight = 1);
+  /// Same, for callers that already attributed the address (the report
+  /// pipeline merges pre-attributed per-AS counts across shards).
+  void add_asn(uint32_t asn, size_t weight = 1);
 
   size_t distinct_as() const { return counts_.size(); }
   size_t total() const { return total_; }

@@ -40,6 +40,28 @@ std::string Table::render() const {
   return out;
 }
 
+std::string Table::markdown() const {
+  auto render_row = [](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (const auto& cell : cells) {
+      line += " ";
+      // '|' would break the cell boundary; escape it.
+      for (char c : cell) {
+        if (c == '|') line += "\\|";
+        else line += c;
+      }
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  out += "|";
+  for (size_t i = 0; i < headers_.size(); ++i) out += " --- |";
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
 std::string pct(double value, int decimals) {
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.*f %%", decimals, value);

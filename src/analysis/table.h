@@ -13,6 +13,9 @@ class Table {
 
   Table& row(std::vector<std::string> cells);
   std::string render() const;
+  /// GitHub-flavored markdown rendering (| cell | ... |) of the same
+  /// table, for the report pipeline's .md artifacts.
+  std::string markdown() const;
 
  private:
   std::vector<std::string> headers_;

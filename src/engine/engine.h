@@ -199,6 +199,43 @@ std::vector<T> merge_sorted_shards(std::vector<std::vector<T>> shards,
   return merged;
 }
 
+/// Per-shard accumulator slots plus the deterministic fold, for
+/// campaign-side aggregates that merge like MetricsRegistry (an
+/// associative + commutative merge_from with the default-constructed
+/// value as identity -- report::ReportAccumulator is the canonical
+/// case). Bodies touch only slot(env.shard_index), which the engine's
+/// exclusive-slot contract makes race-free; merged() folds the slots
+/// in shard index order, so the result is a pure function of the
+/// campaign for every jobs count.
+template <typename T>
+class ShardFold {
+ public:
+  /// One default-constructed slot per shard.
+  explicit ShardFold(int jobs) : slots_(static_cast<size_t>(jobs)) {}
+  /// One factory-constructed slot per shard (accumulators that carry
+  /// configuration, e.g. a source label).
+  ShardFold(int jobs, const std::function<T()>& factory) {
+    slots_.reserve(static_cast<size_t>(jobs));
+    for (int i = 0; i < jobs; ++i) slots_.push_back(factory());
+  }
+
+  T& slot(int shard_index) {
+    return slots_[static_cast<size_t>(shard_index)];
+  }
+  size_t size() const { return slots_.size(); }
+
+  /// Folds every slot into a default-constructed T in shard index
+  /// order. Valid only after the campaign's run() barrier.
+  T merged() const {
+    T out;
+    for (const T& slot : slots_) out.merge_from(slot);
+    return out;
+  }
+
+ private:
+  std::vector<T> slots_;
+};
+
 /// Concatenation in shard index order, for campaigns whose serial
 /// baseline preserves input order (QScanner target files, DNS corpora):
 /// with contiguous shards this reproduces the serial output order.

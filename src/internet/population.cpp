@@ -520,10 +520,7 @@ void PopulationBuilder::build_hosts() {
 
   // An open CDN whose fleet answers even unpadded probes -- the single
   // AS behind 95 % of the paper's unpadded responses (section 3.1).
-  pop_.as_registry_.add(
-      {kAsOpenCdn, "OpenCDN (padding-lax)",
-       {*netsim::Prefix::parse("185.152.64.0/18")},
-       {*netsim::Prefix::parse("2a0b:4340::/32")}});
+  // Its AS entry is part of campaign_as_registry().
   add_group({"opencdn", kAsOpenCdn, 280, 6,
              [&](HostProfile& h) {
                h.server_value = "opencdn";
@@ -835,8 +832,17 @@ void PopulationBuilder::build_lists() {
   }
 }
 
+AsRegistry campaign_as_registry(int tail_as_count) {
+  AsRegistry registry = AsRegistry::standard(tail_as_count);
+  registry.add({kAsOpenCdn, "OpenCDN (padding-lax)",
+                {*netsim::Prefix::parse("185.152.64.0/18")},
+                {*netsim::Prefix::parse("2a0b:4340::/32")}});
+  return registry;
+}
+
 Population::Population(const PopulationParams& params, int week)
-    : week_(week), as_registry_(AsRegistry::standard(params.tail_as_count)) {
+    : week_(week),
+      as_registry_(campaign_as_registry(params.tail_as_count)) {
   if (week < 5 || week > 18)
     throw std::invalid_argument("week must be in [5, 18]");
   PopulationBuilder builder(*this, params);

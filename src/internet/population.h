@@ -136,6 +136,13 @@ struct PopulationParams {
   int tail_as_count = 240;
 };
 
+/// The AS registry every campaign population routes through:
+/// AsRegistry::standard plus the population-specific ASes (the
+/// padding-lax open CDN of section 3.1). Exposed so offline tooling
+/// (qreport_cli) can attribute saved-CSV addresses identically to the
+/// in-engine report without rebuilding a population.
+AsRegistry campaign_as_registry(int tail_as_count);
+
 class Population {
  public:
   /// Builds the population snapshot for a calendar week (5..18).

@@ -5,16 +5,21 @@
 // approximately zero -- and the whole exercise must stay inside a
 // bounded memory footprint. The ASan tree runs this same binary under
 // leak detection, so per-attempt allocations that escape their shard
-// world fail the build there.
+// world fail the build there. The report-pipeline soak holds the
+// streaming report JSON of the same campaign to byte-identity across
+// jobs 1/2/4/8 and against an offline CSV replay.
 #include <gtest/gtest.h>
 #include <sys/resource.h>
 
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
 #include "internet/internet.h"
+#include "report/csv.h"
+#include "report/report.h"
 #include "scanner/qscanner.h"
 #include "telemetry/metrics.h"
 
@@ -119,6 +124,86 @@ TEST(EngineSoak, TenThousandTargetsZeroOutcomeDriftAtJobs8) {
   struct rusage usage;
   ASSERT_EQ(getrusage(RUSAGE_SELF, &usage), 0);
   EXPECT_LT(usage.ru_maxrss, 4L * 1024 * 1024);  // KiB on Linux: < 4 GiB
+}
+
+struct ReportSoak {
+  std::string json;
+  std::string csv;
+};
+
+// The qscanner_cli --targets --report pipeline at soak scale: rows
+// stream into per-shard accumulator slots, and the artifact is the
+// shard-order fold.
+ReportSoak run_report_soak(const std::vector<scanner::QscanTarget>& targets,
+                           int jobs) {
+  engine::CampaignOptions options;
+  options.jobs = jobs;
+  options.seed = kSeed;
+  options.week = kWeek;
+  options.population = kPopulation;
+  engine::Campaign campaign(options);
+
+  std::vector<std::vector<report::QscanRowFeatures>> shard_rows(
+      static_cast<size_t>(jobs));
+  engine::ShardFold<report::ReportAccumulator> fold(
+      jobs, [] { return report::ReportAccumulator("qscanner"); });
+  campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+    auto& acc = fold.slot(env.shard_index);
+    acc.attach_metrics(env.metrics);
+    const auto& registry = env.internet->population().as_registry();
+    scanner::QscanOptions qopt;
+    qopt.seed = env.seed;
+    qopt.metrics = env.metrics;
+    scanner::QScanner qscanner(env.internet->network(), qopt);
+    auto& rows = shard_rows[static_cast<size_t>(env.shard_index)];
+    for (size_t i = env.range.begin; i < env.range.end; ++i) {
+      if (!qscanner.compatible(targets[i])) continue;
+      auto features = report::features_of(qscanner.scan_one(targets[i]));
+      acc.add_row(features, registry.asn_for(targets[i].address));
+      rows.push_back(std::move(features));
+    }
+  });
+
+  ReportSoak out;
+  out.csv = std::string(report::kQscanCsvHeader) + "\n";
+  for (const auto& features : engine::concat_shards(std::move(shard_rows)))
+    out.csv += report::to_csv_row(features) + "\n";
+  std::ostringstream json;
+  report::write_report_json(json, fold.merged());
+  out.json = json.str();
+  return out;
+}
+
+TEST(EngineSoak, TenThousandTargetReportByteIdenticalAcrossJobs) {
+  auto targets = soak_targets();
+  ASSERT_EQ(targets.size(), kTargets);
+
+  auto baseline = run_report_soak(targets, 1);
+  ASSERT_FALSE(baseline.json.empty());
+  for (int jobs : {2, 4, 8}) {
+    auto run = run_report_soak(targets, jobs);
+    EXPECT_EQ(run.json, baseline.json) << "jobs " << jobs;
+    EXPECT_EQ(run.csv, baseline.csv) << "jobs " << jobs;
+  }
+
+  // Offline replay of the merged campaign CSV (the qreport_cli path)
+  // reproduces the streaming report byte for byte at soak scale.
+  internet::AsRegistry registry = internet::campaign_as_registry(240);
+  report::ReportAccumulator replay("qscanner");
+  auto rows = report::parse_csv(baseline.csv);
+  ASSERT_GT(rows.size(), 1u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    auto features = report::features_from_csv(rows[i]);
+    ASSERT_TRUE(features.has_value()) << "row " << i;
+    auto addr = netsim::IpAddress::parse(features->address);
+    ASSERT_TRUE(addr.has_value()) << "row " << i;
+    replay.add_row(*features, registry.asn_for(*addr));
+  }
+  std::ostringstream replay_json;
+  report::RenderOptions render;
+  render.as_registry = &registry;
+  report::write_report_json(replay_json, replay, render);
+  EXPECT_EQ(replay_json.str(), baseline.json);
 }
 
 }  // namespace

@@ -4,7 +4,7 @@
 //
 //   dns_scan_cli [--week N] [--list NAME] [--https-only] [--jobs N]
 //                [--seed N] [--qlog DIR] [--metrics FILE]
-//                [--impair PROFILE] [--retries N]
+//                [--impair PROFILE] [--retries N] [--report DIR]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
 // --jobs N shards the domain corpus across N worker threads (0 =
@@ -15,7 +15,11 @@
 // --impair overlays a named fault-fabric profile on every server link
 // (the resolver path is zone-store backed, so this mainly matters when
 // other scanners share the snapshot); --retries N re-queries
-// empty-answer domains up to N extra times.
+// empty-answer domains up to N extra times. --report streams every
+// resolved record through an in-shard report::ReportAccumulator and
+// writes DIR/report.{json,md} from the shard-order fold
+// (jobs-invariant; HTTPS-RR adoption, Figure 3, and the DNS-join
+// columns of Tables 1/2).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +30,7 @@
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
+#include "report/report.h"
 #include "scanner/dns_scan.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string impair;
   int retries = 0;
+  std::string report_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--week" && i + 1 < argc) {
@@ -60,11 +66,14 @@ int main(int argc, char** argv) {
       impair = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: dns_scan_cli [--week N] [--list NAME] "
                    "[--https-only] [--jobs N] [--seed N] [--qlog DIR] "
-                   "[--metrics FILE] [--impair PROFILE] [--retries N]\n");
+                   "[--metrics FILE] [--impair PROFILE] [--retries N] "
+                   "[--report DIR]\n");
       return 2;
     }
   }
@@ -132,6 +141,10 @@ int main(int argc, char** argv) {
   std::vector<scanner::DnsListScan> shard_scans(static_cast<size_t>(jobs));
   std::vector<uint64_t> shard_queries(static_cast<size_t>(jobs), 0);
 
+  const bool want_report = !report_dir.empty();
+  engine::ShardFold<report::ReportAccumulator> report_fold(
+      jobs, [] { return report::ReportAccumulator("dns"); });
+
   try {
     campaign.run(corpus.size(), [&](engine::ShardEnv& env) {
       std::unique_ptr<telemetry::TraceSink> trace;
@@ -149,6 +162,13 @@ int main(int argc, char** argv) {
                                              env.range.size()));
       shard_queries[static_cast<size_t>(env.shard_index)] =
           dns.queries_sent();
+      if (want_report) {
+        auto& acc = report_fold.slot(env.shard_index);
+        acc.attach_metrics(env.metrics);
+        for (const auto& record :
+             shard_scans[static_cast<size_t>(env.shard_index)].records)
+          acc.add_dns_record(list, record);
+      }
     });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
@@ -203,6 +223,14 @@ int main(int argc, char** argv) {
                 join(record.aaaa, [](const auto& a) { return a.to_string(); })
                     .c_str(),
                 alpn.c_str(), hints4.c_str(), hints6.c_str());
+  }
+  if (want_report) {
+    try {
+      report::write_report_dir(report_dir, report_fold.merged());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write report: %s\n", e.what());
+      return 2;
+    }
   }
   std::fprintf(stderr,
                "# list=%s resolved=%zu with_a=%zu with_aaaa=%zu "

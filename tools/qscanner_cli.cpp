@@ -7,6 +7,7 @@
 //   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
 //                [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
 //                [--impair PROFILE] [--retries N] [--breaker]
+//                [--report DIR]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
 // --all scans every ZMap-discoverable IPv4 address without SNI.
@@ -21,7 +22,11 @@
 // bursty, hostile, throttled) on every server link; --retries N gives
 // each timed-out target up to N extra attempts with deterministic
 // backoff; --breaker enables the per-AS circuit breaker
-// (skip-and-record when a provider keeps timing out).
+// (skip-and-record when a provider keeps timing out). --report streams
+// every row through an in-shard report::ReportAccumulator (same hook as
+// the CSV writer) and writes DIR/report.{json,md} from the shard-order
+// fold -- byte-identical for every --jobs N and to an offline
+// qreport_cli replay of the CSV.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,8 +37,8 @@
 
 #include "engine/engine.h"
 #include "internet/internet.h"
-#include "internet/tp_catalog.h"
 #include "netsim/impairment.h"
+#include "report/report.h"
 #include "scanner/qscanner.h"
 #include "scanner/zmap.h"
 #include "telemetry/metrics.h"
@@ -41,42 +46,12 @@
 
 namespace {
 
-// RFC 4180: fields containing the delimiter, a double quote or a line
-// break must be quoted, with embedded quotes doubled. Everything the
-// scanner prints verbatim comes off the (simulated) wire -- server
-// headers, certificate names, SNI -- so unescaped output would let a
-// scanned host inject CSV columns into the measurement data.
-std::string csv_escape(const std::string& field) {
-  if (field.find_first_of(",\"\r\n") == std::string::npos) return field;
-  std::string out = "\"";
-  for (char c : field) {
-    if (c == '"') out += '"';
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
+// The RFC 4180 escaping (wire-derived fields -- server headers,
+// certificate names, SNI -- must not inject CSV columns) lives in
+// report::to_csv_row; the CLI row and the report pipeline consume the
+// exact same report::QscanRowFeatures.
 void print_row(const scanner::QscanResult& result) {
-  const auto& tp = result.report.server_transport_params;
-  std::printf(
-      "%s,%s,%s,%s,%s,%s,%d,%llu,%llu,%s\n",
-      csv_escape(result.target.address.to_string()).c_str(),
-      csv_escape(result.target.sni.value_or("")).c_str(),
-      csv_escape(scanner::to_string(result.outcome)).c_str(),
-      result.outcome == scanner::QscanOutcome::kSuccess
-          ? csv_escape(quic::version_name(result.report.negotiated_version))
-                .c_str()
-          : "",
-      csv_escape(result.report.tls.selected_alpn.value_or("")).c_str(),
-      csv_escape(result.report.tls.certificate_chain.empty()
-                     ? ""
-                     : result.report.tls.certificate_chain[0].subject_cn)
-          .c_str(),
-      internet::tp_config_id_for_key(tp.config_key()),
-      static_cast<unsigned long long>(tp.initial_max_data.value_or(0)),
-      static_cast<unsigned long long>(tp.effective_max_udp_payload_size()),
-      csv_escape(result.server_header.value_or("")).c_str());
+  std::printf("%s\n", report::to_csv_row(report::features_of(result)).c_str());
 }
 
 scanner::QscanOptions scan_options(const engine::ShardEnv& env,
@@ -124,6 +99,7 @@ int main(int argc, char** argv) {
   std::string impair;
   int retries = 0;
   bool breaker = false;
+  std::string report_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -149,12 +125,14 @@ int main(int argc, char** argv) {
       retries = std::atoi(argv[++i]);
     } else if (arg == "--breaker") {
       breaker = true;
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_dir = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: qscanner_cli [--week N] [--all | --targets FILE] "
                    "[--no-http] [--jobs N] [--seed N] [--qlog DIR] "
                    "[--metrics FILE] [--impair PROFILE] [--retries N] "
-                   "[--breaker]\n");
+                   "[--breaker] [--report DIR]\n");
       return 2;
     }
   }
@@ -207,6 +185,22 @@ int main(int argc, char** argv) {
   std::vector<size_t> shard_scanned(static_cast<size_t>(jobs), 0);
   std::vector<uint64_t> shard_attempts(static_cast<size_t>(jobs), 0);
 
+  // In-shard report accumulation: each shard feeds its own slot from
+  // the same results the CSV writer prints, and the shard-order fold
+  // after run() is jobs-invariant (merge_from is associative and
+  // commutative).
+  const bool want_report = !report_dir.empty();
+  engine::ShardFold<report::ReportAccumulator> report_fold(
+      jobs, [] { return report::ReportAccumulator("qscanner"); });
+  auto report_row = [&](engine::ShardEnv& env,
+                        const scanner::QscanResult& result) {
+    if (!want_report) return;
+    const auto& registry = env.internet->population().as_registry();
+    report_fold.slot(env.shard_index)
+        .add_row(report::features_of(result),
+                 registry.asn_for(result.target.address));
+  };
+
   std::vector<scanner::QscanResult> rows;
   try {
     if (scan_all) {
@@ -220,6 +214,8 @@ int main(int argc, char** argv) {
       auto candidates = planning.zmap_candidates_v4();
 
       campaign.run(candidates.size(), [&](engine::ShardEnv& env) {
+        if (want_report)
+          report_fold.slot(env.shard_index).attach_metrics(env.metrics);
         scanner::ZmapOptions zmap_options;
         zmap_options.seed = env.seed;
         zmap_options.metrics = env.metrics;
@@ -237,6 +233,7 @@ int main(int argc, char** argv) {
                                       hit.versions};
           if (!qscanner.compatible(target)) continue;
           rows_out.push_back(qscanner.scan_one(target));
+          report_row(env, rows_out.back());
           ++shard_scanned[static_cast<size_t>(env.shard_index)];
         }
         shard_attempts[static_cast<size_t>(env.shard_index)] =
@@ -275,6 +272,8 @@ int main(int argc, char** argv) {
       }
 
       campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+        if (want_report)
+          report_fold.slot(env.shard_index).attach_metrics(env.metrics);
         scanner::QScanner qscanner(
             env.internet->network(),
             scan_options(env, send_http, retries, breaker));
@@ -282,6 +281,7 @@ int main(int argc, char** argv) {
         for (size_t i = env.range.begin; i < env.range.end; ++i) {
           if (!qscanner.compatible(targets[i])) continue;
           rows_out.push_back(qscanner.scan_one(targets[i]));
+          report_row(env, rows_out.back());
           ++shard_scanned[static_cast<size_t>(env.shard_index)];
         }
         shard_attempts[static_cast<size_t>(env.shard_index)] =
@@ -295,10 +295,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf(
-      "saddr,sni,outcome,version,alpn,cert_cn,tp_config,initial_max_data,"
-      "max_udp_payload,server\n");
+  std::printf("%s\n", report::kQscanCsvHeader);
   for (const auto& row : rows) print_row(row);
+
+  if (want_report) {
+    try {
+      report::write_report_dir(report_dir, report_fold.merged());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write report: %s\n", e.what());
+      return 2;
+    }
+  }
 
   size_t scanned = 0;
   uint64_t attempts = 0;

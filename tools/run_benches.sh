@@ -6,7 +6,8 @@
 #
 # The Google-Benchmark binaries (micro_codec, micro_scanner,
 # micro_telemetry) emit their standard JSON via --benchmark_out; the
-# wall-clock campaign benches (micro_engine, micro_hotpath, micro_chaos)
+# wall-clock campaign benches (micro_engine, micro_hotpath, micro_chaos,
+# micro_report)
 # write their own JSON summaries. All artifacts land in the repository
 # root as BENCH_<name>.json so diffs of a perf PR show the numbers
 # moving.
@@ -23,7 +24,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target \
   micro_codec micro_scanner micro_telemetry micro_engine micro_hotpath \
-  micro_chaos
+  micro_chaos micro_report
 
 # Google-Benchmark timing suites: standard JSON reporter.
 for name in codec scanner telemetry; do
@@ -40,6 +41,8 @@ echo "== micro_hotpath"
 "$BUILD/bench/micro_hotpath" "$ROOT/BENCH_hotpath.json"
 echo "== micro_chaos"
 "$BUILD/bench/micro_chaos" "$ROOT/BENCH_chaos.json"
+echo "== micro_report"
+"$BUILD/bench/micro_report" "$ROOT/BENCH_report.json"
 
 echo "refreshed:"
 ls -1 "$ROOT"/BENCH_*.json

@@ -5,7 +5,7 @@
 //   zmap_quic_cli [--week N] [--no-padding] [--pps N]
 //                 [--blocklist CIDR[,CIDR...]] [--ipv6] [--csv]
 //                 [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
-//                 [--impair PROFILE] [--retries N]
+//                 [--impair PROFILE] [--retries N] [--report DIR]
 //
 // --jobs N shards the sweep space across N worker threads, like the
 // real ZMap's sender shards; the merged responder list and metrics are
@@ -16,7 +16,11 @@
 // --metrics dumps the merged counters as JSON on exit.
 // --impair overlays a named fault-fabric profile (clean, lossy,
 // bursty, hostile, throttled) on every server link; --retries N
-// re-probes non-responders in up to N extra sweep rounds.
+// re-probes non-responders in up to N extra sweep rounds. --report
+// streams every responder through an in-shard
+// report::ReportAccumulator and writes DIR/report.{json,md} from the
+// shard-order fold (jobs-invariant; version sets and the
+// version-support matrix, Figures 5/6).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +31,7 @@
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
+#include "report/report.h"
 #include "scanner/zmap.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -39,7 +44,8 @@ void usage() {
                "                     [--blocklist CIDR[,CIDR...]] [--ipv6]\n"
                "                     [--csv] [--jobs N] [--seed N]\n"
                "                     [--qlog DIR] [--metrics FILE]\n"
-               "                     [--impair PROFILE] [--retries N]\n");
+               "                     [--impair PROFILE] [--retries N]\n"
+               "                     [--report DIR]\n");
 }
 
 }  // namespace
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string impair;
   int retries = 0;
+  std::string report_dir;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -74,6 +81,8 @@ int main(int argc, char** argv) {
       impair = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_dir = argv[++i];
     } else if (arg == "--no-padding") {
       padding = false;
     } else if (arg == "--pps" && i + 1 < argc) {
@@ -161,6 +170,10 @@ int main(int argc, char** argv) {
       static_cast<size_t>(jobs));
   std::vector<scanner::ZmapStats> shard_stats(static_cast<size_t>(jobs));
 
+  const bool want_report = !report_dir.empty();
+  engine::ShardFold<report::ReportAccumulator> report_fold(
+      jobs, [] { return report::ReportAccumulator("zmap"); });
+
   try {
     campaign.run(targets.size(), [&](engine::ShardEnv& env) {
       std::unique_ptr<telemetry::TraceSink> sweep_trace;
@@ -180,6 +193,15 @@ int main(int argc, char** argv) {
           zmap.scan(std::span<const netsim::IpAddress>(
               targets.data() + env.range.begin, env.range.size()));
       shard_stats[static_cast<size_t>(env.shard_index)] = zmap.stats();
+      if (want_report) {
+        auto& acc = report_fold.slot(env.shard_index);
+        acc.attach_metrics(env.metrics);
+        const auto& registry = env.internet->population().as_registry();
+        for (const auto& hit :
+             shard_hits[static_cast<size_t>(env.shard_index)])
+          acc.add_zmap_hit(hit.address.to_string(), hit.versions,
+                           registry.asn_for(hit.address));
+      }
     });
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
@@ -219,6 +241,14 @@ int main(int argc, char** argv) {
     for (const auto& hit : hits) {
       std::printf("%-40s %s\n", hit.address.to_string().c_str(),
                   quic::version_set_name(hit.versions).c_str());
+    }
+  }
+  if (want_report) {
+    try {
+      report::write_report_dir(report_dir, report_fold.merged());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write report: %s\n", e.what());
+      return 2;
     }
   }
   std::fprintf(stderr,
