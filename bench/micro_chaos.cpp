@@ -64,7 +64,9 @@ ProfileRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
   options.impairment = profile == "clean" ? "" : profile;
   engine::Campaign campaign(options);
 
-  std::vector<uint64_t> shard_attempts(static_cast<size_t>(jobs), 0);
+  // Dynamic default: the slice count is the chunk count, not jobs.
+  std::vector<uint64_t> shard_attempts(campaign.slot_count(targets.size()),
+                                       0);
   auto start = std::chrono::steady_clock::now();
   campaign.run(targets.size(), [&](engine::ShardEnv& env) {
     scanner::QscanOptions qopt;

@@ -1,6 +1,10 @@
 #include "engine/engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <stdexcept>
 #include <thread>
@@ -9,6 +13,28 @@
 #include "netsim/impairment.h"
 
 namespace engine {
+namespace {
+
+using SchedClock = std::chrono::steady_clock;
+
+uint64_t elapsed_us(SchedClock::time_point from, SchedClock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
+Schedule parse_schedule(const std::string& name) {
+  if (name == "static") return Schedule::kStatic;
+  if (name == "dynamic") return Schedule::kDynamic;
+  throw std::invalid_argument("unknown schedule '" + name +
+                              "' (expected static or dynamic)");
+}
+
+const char* schedule_name(Schedule schedule) {
+  return schedule == Schedule::kStatic ? "static" : "dynamic";
+}
 
 uint64_t shard_seed(uint64_t campaign_seed, uint32_t shard_index) {
   if (shard_index == 0) return campaign_seed;
@@ -17,6 +43,18 @@ uint64_t shard_seed(uint64_t campaign_seed, uint32_t shard_index) {
   // matches the scanners' own per-attempt seed derivation.
   uint64_t state =
       campaign_seed ^ (0x9e3779b97f4a7c15ull * (shard_index + 1));
+  crypto::splitmix64(state);
+  return crypto::splitmix64(state);
+}
+
+uint64_t chunk_seed(uint64_t campaign_seed, size_t chunk_index) {
+  if (chunk_index == 0) return campaign_seed;
+  // Same construction as shard_seed with a different mixing constant,
+  // so static shard streams and dynamic chunk streams never collide
+  // for the same index. Depends on (seed, chunk_index) only; jobs must
+  // never enter this derivation (steal-schedule invariance).
+  uint64_t state = campaign_seed ^ (0xbf58476d1ce4e5b9ull *
+                                    (static_cast<uint64_t>(chunk_index) + 1));
   crypto::splitmix64(state);
   return crypto::splitmix64(state);
 }
@@ -47,7 +85,35 @@ int shard_of(size_t index, size_t n, int jobs) {
   return static_cast<int>(extra + (index - fat) / base);
 }
 
+std::vector<ShardRange> chunk_ranges(size_t n, size_t chunk_size) {
+  size_t step = chunk_size < 1 ? 1 : chunk_size;
+  std::vector<ShardRange> ranges;
+  if (n == 0) {
+    // One empty chunk: the campaign still runs one world, so merged
+    // metrics carry the full key set and chunk_seed(seed, 0) == seed
+    // keeps the run byte-identical to the serial empty campaign.
+    ranges.push_back({0, 0});
+    return ranges;
+  }
+  ranges.reserve((n + step - 1) / step);
+  for (size_t begin = 0; begin < n; begin += step)
+    ranges.push_back({begin, std::min(begin + step, n)});
+  return ranges;
+}
+
+size_t default_chunk_size(size_t n, int jobs) {
+  size_t workers = jobs < 1 ? 1 : static_cast<size_t>(jobs);
+  size_t size = n / (8 * workers);
+  return size < 1 ? 1 : size;
+}
+
 Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
+  if (!options_.schedule) {
+    // The CI sweep knob: QREPRO_SCHEDULE flips the default for callers
+    // that left the schedule unset; an invalid name fails loudly.
+    const char* env = std::getenv("QREPRO_SCHEDULE");
+    options_.schedule = env ? parse_schedule(env) : Schedule::kDynamic;
+  }
   if (options_.jobs < 1)
     throw std::invalid_argument("Campaign: jobs must be >= 1");
   if (!options_.impairment.empty() &&
@@ -56,21 +122,36 @@ Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
                                 options_.impairment + "'");
 }
 
-void Campaign::run_shard(int shard_index, const ShardBody& body) {
-  // The whole shard world is constructed here, in the exact order the
+size_t Campaign::resolved_chunk_size(size_t target_count) const {
+  return options_.chunk_size > 0
+             ? options_.chunk_size
+             : default_chunk_size(target_count, options_.jobs);
+}
+
+size_t Campaign::slot_count(size_t target_count) const {
+  if (*options_.schedule == Schedule::kStatic)
+    return static_cast<size_t>(options_.jobs);
+  return chunk_ranges(target_count, resolved_chunk_size(target_count)).size();
+}
+
+void Campaign::run_slice(int slice, const ShardBody& body) {
+  // The whole slice world is constructed here, in the exact order the
   // serial CLIs construct theirs: loop, internet, metrics attachment,
   // trace directory. That ordering is part of the determinism
   // contract -- it fixes the virtual-time position of every event a
-  // body emits.
+  // body emits. Only the immutable snapshot (population + zones) is
+  // shared; everything mutable is private to this slice.
   ShardEnv env;
-  env.shard_index = shard_index;
-  env.jobs = options_.jobs;
-  env.seed = shard_seed(options_.seed, static_cast<uint32_t>(shard_index));
-  env.range = ranges_[static_cast<size_t>(shard_index)];
+  env.shard_index = slice;
+  env.jobs = static_cast<int>(ranges_.size());
+  env.seed = *options_.schedule == Schedule::kDynamic
+                 ? chunk_seed(options_.seed, static_cast<size_t>(slice))
+                 : shard_seed(options_.seed, static_cast<uint32_t>(slice));
+  env.range = ranges_[static_cast<size_t>(slice)];
 
   netsim::EventLoop loop;
-  internet::Internet internet(options_.population, options_.week, loop);
-  auto& metrics = *shard_metrics_[static_cast<size_t>(shard_index)];
+  internet::Internet internet(snapshot_, loop);
+  auto& metrics = *shard_metrics_[static_cast<size_t>(slice)];
   loop.set_metrics(&metrics);
   internet.network().set_metrics(&metrics);
   if (!options_.impairment.empty()) {
@@ -86,9 +167,12 @@ void Campaign::run_shard(int shard_index, const ShardBody& body) {
   std::optional<telemetry::QlogDir> qlog;
   if (!options_.qlog_dir.empty()) {
     std::string dir = options_.qlog_dir;
-    if (options_.jobs > 1) {
+    if (ranges_.size() > 1) {
       char suffix[16];
-      std::snprintf(suffix, sizeof suffix, "/shard%02d", shard_index);
+      if (*options_.schedule == Schedule::kDynamic)
+        std::snprintf(suffix, sizeof suffix, "/chunk%04d", slice);
+      else
+        std::snprintf(suffix, sizeof suffix, "/shard%02d", slice);
       dir += suffix;
     }
     qlog.emplace(dir);
@@ -102,38 +186,114 @@ void Campaign::run_shard(int shard_index, const ShardBody& body) {
   body(env);
 }
 
+void Campaign::run_workers(int workers, const ShardBody& body,
+                           std::vector<std::exception_ptr>& errors) {
+  const size_t slices = ranges_.size();
+  std::atomic<size_t> cursor{0};
+
+  // One worker's pull loop. Slice output is deterministic regardless of
+  // which worker runs it (private world, index-keyed seed); the cursor
+  // only decides the wall-clock interleaving, which is exactly what the
+  // scheduler telemetry records.
+  auto pull_loop = [&](int worker) {
+    auto& sample = sched_.worker(worker);
+    while (true) {
+      auto t0 = SchedClock::now();
+      size_t slice = cursor.fetch_add(1, std::memory_order_relaxed);
+      auto t1 = SchedClock::now();
+      sample.steal_wait_us += elapsed_us(t0, t1);
+      if (slice >= slices) break;
+      try {
+        run_slice(static_cast<int>(slice), body);
+      } catch (...) {
+        errors[slice] = std::current_exception();
+      }
+      auto t2 = SchedClock::now();
+      uint64_t busy = elapsed_us(t1, t2);
+      sample.busy_us += busy;
+      sample.chunks_run += 1;
+      sched_.observe_chunk(worker, busy);
+    }
+  };
+
+  if (workers == 1) {
+    // Inline on the calling thread: the serial path, exactly -- the
+    // cursor degenerates to iterating slices in index order.
+    pull_loop(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    pool.emplace_back([&pull_loop, w] { pull_loop(w); });
+  for (auto& thread : pool) thread.join();
+}
+
 void Campaign::run(size_t target_count, const ShardBody& body) {
   if (ran_) throw std::logic_error("Campaign::run called twice");
   ran_ = true;
-  ranges_ = shard_ranges(target_count, options_.jobs);
+  ranges_ = *options_.schedule == Schedule::kDynamic
+                ? chunk_ranges(target_count, resolved_chunk_size(target_count))
+                : shard_ranges(target_count, options_.jobs);
   shard_metrics_.clear();
-  for (int s = 0; s < options_.jobs; ++s)
+  for (size_t s = 0; s < ranges_.size(); ++s)
     shard_metrics_.push_back(std::make_unique<telemetry::MetricsRegistry>());
+  // The immutable world half (population + DNS zones) is identical for
+  // every slice; build it once and share it read-only.
+  snapshot_ = options_.snapshot
+                  ? options_.snapshot
+                  : std::make_shared<const internet::Snapshot>(
+                        options_.population, options_.week);
 
-  if (options_.jobs == 1) {
-    run_shard(0, body);
+  std::vector<std::exception_ptr> errors(ranges_.size());
+  if (*options_.schedule == Schedule::kDynamic) {
+    int workers = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(options_.jobs), ranges_.size()));
+    sched_.reset(workers < 1 ? 1 : workers);
+    run_workers(workers < 1 ? 1 : workers, body, errors);
   } else {
-    std::vector<std::exception_ptr> errors(
-        static_cast<size_t>(options_.jobs));
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(options_.jobs));
-    for (int s = 0; s < options_.jobs; ++s) {
-      workers.emplace_back([this, s, &body, &errors] {
-        try {
-          run_shard(s, body);
-        } catch (...) {
-          errors[static_cast<size_t>(s)] = std::current_exception();
-        }
-      });
+    // Static: shard s pinned to worker s. Recorded through the same
+    // scheduler stats so static-vs-dynamic straggler ratios compare
+    // like for like.
+    sched_.reset(options_.jobs);
+    if (options_.jobs == 1) {
+      auto t0 = SchedClock::now();
+      try {
+        run_slice(0, body);
+      } catch (...) {
+        errors[0] = std::current_exception();
+      }
+      uint64_t busy = elapsed_us(t0, SchedClock::now());
+      sched_.worker(0).busy_us += busy;
+      sched_.worker(0).chunks_run += 1;
+      sched_.observe_chunk(0, busy);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(options_.jobs));
+      for (int s = 0; s < options_.jobs; ++s) {
+        pool.emplace_back([this, s, &body, &errors] {
+          auto t0 = SchedClock::now();
+          try {
+            run_slice(s, body);
+          } catch (...) {
+            errors[static_cast<size_t>(s)] = std::current_exception();
+          }
+          uint64_t busy = elapsed_us(t0, SchedClock::now());
+          sched_.worker(s).busy_us += busy;
+          sched_.worker(s).chunks_run += 1;
+          sched_.observe_chunk(s, busy);
+        });
+      }
+      for (auto& thread : pool) thread.join();
     }
-    for (auto& worker : workers) worker.join();
-    for (auto& error : errors)
-      if (error) std::rethrow_exception(error);
   }
+  for (auto& error : errors)
+    if (error) std::rethrow_exception(error);
 
-  // Fold in shard index order (any order gives the same registry; a
+  // Fold in slice index order (any order gives the same registry; a
   // fixed order keeps the implementation trivially deterministic).
-  for (const auto& shard : shard_metrics_) merged_.merge_from(*shard);
+  for (const auto& slice : shard_metrics_) merged_.merge_from(*slice);
+  sched_.write_to(sched_registry_);
 }
 
 }  // namespace engine

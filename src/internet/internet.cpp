@@ -4,31 +4,11 @@
 
 namespace internet {
 
-Internet::Internet(const PopulationParams& params, int week,
-                   netsim::EventLoop& loop)
-    : loop_(loop),
-      population_(params, week),
-      network_(loop, params.seed ^ 0x105e) {
-  register_hosts();
-  build_zones();
-}
-
-void Internet::register_hosts() {
-  crypto::Rng rng(population_.week() * 7919 + 0x9000);
-  server_hosts_.reserve(population_.hosts().size());
-  for (const auto& profile : population_.hosts()) {
-    auto host = std::make_unique<ServerHost>(
-        population_, profile, rng.fork(profile.address.to_string()));
-    netsim::Endpoint endpoint{profile.address, kQuicPort};
-    if (profile.quic_enabled() && !profile.udp_filtered)
-      network_.add_udp_service(endpoint, host.get());
-    if (profile.tcp443_open) network_.add_tcp_service(endpoint, host.get());
-    host_map_.emplace(profile.address, host.get());
-    server_hosts_.push_back(std::move(host));
-  }
-}
-
-void Internet::build_zones() {
+Snapshot::Snapshot(const PopulationParams& params, int week)
+    : params_(params), population_(params, week) {
+  // Authoritative zone build (moved verbatim from the old
+  // Internet::build_zones): pure function of the population, so it
+  // belongs with the immutable snapshot and runs once per campaign.
   const auto& hosts = population_.hosts();
   for (const auto& domain : population_.domains()) {
     for (uint32_t h : domain.v4_hosts) {
@@ -69,10 +49,38 @@ void Internet::build_zones() {
   }
 }
 
+Internet::Internet(const PopulationParams& params, int week,
+                   netsim::EventLoop& loop)
+    : Internet(std::make_shared<const Snapshot>(params, week), loop) {}
+
+Internet::Internet(std::shared_ptr<const Snapshot> snapshot,
+                   netsim::EventLoop& loop)
+    : loop_(loop),
+      snapshot_(std::move(snapshot)),
+      network_(loop, snapshot_->params().seed ^ 0x105e) {
+  register_hosts();
+}
+
+void Internet::register_hosts() {
+  const Population& population = snapshot_->population();
+  crypto::Rng rng(population.week() * 7919 + 0x9000);
+  server_hosts_.reserve(population.hosts().size());
+  for (const auto& profile : population.hosts()) {
+    auto host = std::make_unique<ServerHost>(
+        population, profile, rng.fork(profile.address.to_string()));
+    netsim::Endpoint endpoint{profile.address, kQuicPort};
+    if (profile.quic_enabled() && !profile.udp_filtered)
+      network_.add_udp_service(endpoint, host.get());
+    if (profile.tcp443_open) network_.add_tcp_service(endpoint, host.get());
+    host_map_.emplace(profile.address, host.get());
+    server_hosts_.push_back(std::move(host));
+  }
+}
+
 std::vector<netsim::IpAddress> Internet::zmap_candidates_v4(
     int dud_factor) const {
   std::vector<netsim::IpAddress> out;
-  for (const auto& host : population_.hosts()) {
+  for (const auto& host : population().hosts()) {
     if (!host.address.is_v4()) continue;
     out.push_back(host.address);
     // Unresponsive neighbours in the same prefix: high in the host part
@@ -87,7 +95,7 @@ std::vector<netsim::IpAddress> Internet::zmap_candidates_v4(
 
 std::vector<netsim::IpAddress> Internet::ipv6_hitlist() const {
   std::vector<netsim::IpAddress> out;
-  for (const auto& host : population_.hosts()) {
+  for (const auto& host : population().hosts()) {
     if (!host.address.is_v6()) continue;
     out.push_back(host.address);
   }
@@ -101,12 +109,12 @@ std::vector<netsim::IpAddress> Internet::ipv6_hitlist() const {
 
 std::vector<std::string> Internet::list_corpus(
     const std::string& list_name) const {
-  for (const auto& corpus : population_.lists()) {
+  for (const auto& corpus : population().lists()) {
     if (corpus.name != list_name) continue;
     std::vector<std::string> out;
     out.reserve(corpus.members.size() + corpus.synthetic_count);
     for (uint32_t id : corpus.members)
-      out.push_back(population_.domains()[id].name);
+      out.push_back(population().domains()[id].name);
     for (size_t i = 0; i < corpus.synthetic_count; ++i)
       out.push_back(Population::synthetic_domain(list_name, i));
     return out;

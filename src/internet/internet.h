@@ -19,13 +19,47 @@ namespace internet {
 inline constexpr uint16_t kQuicPort = 443;
 inline constexpr uint16_t kTlsPort = 443;
 
-class Internet {
+/// The immutable half of a scan world: the population snapshot for one
+/// calendar week plus the authoritative DNS zones derived from it.
+/// Building one is the expensive part of world construction (tens of
+/// milliseconds); everything in it is read-only after the constructor
+/// returns, so one Snapshot can be shared -- concurrently -- by any
+/// number of Internet worlds. The campaign engine builds a single
+/// Snapshot per campaign and hands it to every shard/chunk world,
+/// which keeps the per-world cost down to the genuinely mutable state
+/// (network fabric, server hosts).
+class Snapshot {
  public:
-  Internet(const PopulationParams& params, int week, netsim::EventLoop& loop);
+  Snapshot(const PopulationParams& params, int week);
 
-  netsim::Network& network() { return network_; }
+  const PopulationParams& params() const { return params_; }
   const Population& population() const { return population_; }
   const dns::ZoneStore& zones() const { return zones_; }
+
+ private:
+  PopulationParams params_;
+  Population population_;
+  dns::ZoneStore zones_;
+};
+
+class Internet {
+ public:
+  /// Self-contained world: builds a private Snapshot. Byte-identical to
+  /// the shared-snapshot constructor -- the snapshot split moved code,
+  /// not behavior.
+  Internet(const PopulationParams& params, int week, netsim::EventLoop& loop);
+
+  /// World over a shared immutable snapshot. Only the mutable state
+  /// (network fabric, server hosts) is built per world; the snapshot
+  /// may be shared with other worlds on other threads.
+  Internet(std::shared_ptr<const Snapshot> snapshot, netsim::EventLoop& loop);
+
+  netsim::Network& network() { return network_; }
+  const Population& population() const { return snapshot_->population(); }
+  const dns::ZoneStore& zones() const { return snapshot_->zones(); }
+  const std::shared_ptr<const Snapshot>& snapshot() const {
+    return snapshot_;
+  }
 
   /// IPv4 sweep candidates: every allocated host address plus
   /// `dud_factor` unresponsive addresses per host (the sweep must wade
@@ -51,12 +85,10 @@ class Internet {
 
  private:
   void register_hosts();
-  void build_zones();
 
   netsim::EventLoop& loop_;
-  Population population_;
+  std::shared_ptr<const Snapshot> snapshot_;
   netsim::Network network_;
-  dns::ZoneStore zones_;
   std::vector<std::unique_ptr<ServerHost>> server_hosts_;
   std::unordered_map<netsim::IpAddress, ServerHost*, netsim::IpAddressHash>
       host_map_;

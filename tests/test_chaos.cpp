@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,7 @@ struct ChaosRun {
   uint64_t attempts = 0;
   uint64_t retries = 0;
   uint64_t breaker_trips = 0;
+  double straggler = 1.0;
   std::map<std::string, uint64_t> outcomes;
 
   uint64_t outcome(const std::string& name) const {
@@ -51,9 +53,17 @@ struct ChaosRun {
   }
 };
 
+/// One snapshot for every campaign in this binary: world construction
+/// is pure over (params, week), so sharing it only buys build time.
+std::shared_ptr<const internet::Snapshot> shared_snapshot() {
+  static auto snapshot =
+      std::make_shared<const internet::Snapshot>(kPopulation, kWeek);
+  return snapshot;
+}
+
 std::vector<scanner::QscanTarget> make_targets(size_t count) {
   netsim::EventLoop planning_loop;
-  internet::Internet planning(kPopulation, kWeek, planning_loop);
+  internet::Internet planning(shared_snapshot(), planning_loop);
   std::vector<scanner::QscanTarget> base;
   for (const auto& host : planning.population().hosts()) {
     if (!host.address.is_v4()) continue;
@@ -66,14 +76,31 @@ std::vector<scanner::QscanTarget> make_targets(size_t count) {
   return targets;
 }
 
+/// A deliberately skewed list: the first quarter are real scans, the
+/// tail advertises only a GREASE version so compatible() skips it for
+/// free. Under the static schedule worker 0 inherits nearly all of the
+/// real work -- the straggler scenario the dynamic scheduler exists to
+/// erase.
+std::vector<scanner::QscanTarget> make_skewed_targets(size_t count) {
+  auto targets = make_targets(count);
+  for (size_t i = count / 4; i < count; ++i)
+    targets[i].version_hint = {0x1a2a3a4au};
+  return targets;
+}
+
 ChaosRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
                       const std::string& profile, int retries, bool breaker,
-                      int jobs) {
+                      int jobs,
+                      engine::Schedule schedule = engine::Schedule::kDynamic,
+                      size_t chunk_size = 0) {
   engine::CampaignOptions options;
   options.jobs = jobs;
   options.seed = kSeed;
+  options.schedule = schedule;
+  options.chunk_size = chunk_size;
   options.week = kWeek;
   options.population = kPopulation;
+  options.snapshot = shared_snapshot();
   options.impairment = profile;
   engine::Campaign campaign(options);
 
@@ -106,6 +133,7 @@ ChaosRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
   ChaosRun run;
   run.scanned = scanned.load();
   run.attempts = attempts.load();
+  run.straggler = campaign.straggler_ratio();
   auto counter = [&](const std::string& name) -> uint64_t {
     const auto* c = campaign.metrics().find_counter(name);
     return c ? c->value() : 0;
@@ -198,6 +226,60 @@ TEST(Chaos, HostileOutcomeMixInvariantAcrossJobs) {
   EXPECT_EQ(serial.attempts, sharded.attempts);
   EXPECT_EQ(serial.retries, sharded.retries);
   EXPECT_EQ(serial.outcomes, sharded.outcomes);
+}
+
+// The dynamic-scheduler soak (this PR's acceptance scenario): 10k
+// hostile targets whose real work is concentrated in the first quarter
+// of the list. Static sharding hands nearly all of it to worker 0;
+// dynamic chunks off the shared cursor spread it across the pool. The
+// contract is threefold: every attempt still lands in a classified
+// outcome, the busy-time straggler ratio (max/mean across workers,
+// core-count robust) drops strictly below the static run's, and the
+// outcome mix at a fixed chunk size is invariant across --jobs.
+TEST(Chaos, DynamicSoakErasesStragglersAndStaysJobsInvariant) {
+  constexpr size_t kChunk = 97;  // fixed, so the chunk worlds line up
+  auto targets = make_skewed_targets(10'000);
+
+  auto fixed = run_campaign(targets, "hostile", /*retries=*/1,
+                            /*breaker=*/false, /*jobs=*/4,
+                            engine::Schedule::kStatic);
+  auto stolen = run_campaign(targets, "hostile", /*retries=*/1,
+                             /*breaker=*/false, /*jobs=*/4,
+                             engine::Schedule::kDynamic, kChunk);
+
+  // Both schedules classify every attempted target; the skipped GREASE
+  // tail never reaches the wire.
+  EXPECT_EQ(fixed.classified_total(), fixed.scanned);
+  EXPECT_EQ(stolen.classified_total(), stolen.scanned);
+  // (A handful of the real quarter is natively incompatible too, so
+  // bound it rather than pinning the exact count.)
+  EXPECT_GT(fixed.scanned, targets.size() / 8);
+  EXPECT_LE(fixed.scanned, targets.size() / 4);
+  EXPECT_EQ(stolen.scanned, fixed.scanned);
+
+  // Same merged outcome mix: the schedule moves work between workers,
+  // never between outcome classes.
+  EXPECT_EQ(stolen.outcomes, fixed.outcomes);
+  EXPECT_EQ(stolen.attempts, fixed.attempts);
+  EXPECT_EQ(stolen.retries, fixed.retries);
+
+  // Stealing erases the straggler. Static pins the whole heavy quarter
+  // on one worker (ratio ~ jobs); dynamic must land strictly below it.
+  EXPECT_GT(fixed.straggler, 1.5);
+  EXPECT_LT(stolen.straggler, fixed.straggler);
+
+  // Jobs-invariance at the fixed chunk size: the chunk partition and
+  // seeds are a function of (n, chunk_size, seed) only, so the outcome
+  // mix cannot move with the worker count.
+  for (int jobs : {1, 2, 8}) {
+    auto other = run_campaign(targets, "hostile", /*retries=*/1,
+                              /*breaker=*/false, jobs,
+                              engine::Schedule::kDynamic, kChunk);
+    EXPECT_EQ(other.outcomes, stolen.outcomes) << "jobs=" << jobs;
+    EXPECT_EQ(other.scanned, stolen.scanned) << "jobs=" << jobs;
+    EXPECT_EQ(other.attempts, stolen.attempts) << "jobs=" << jobs;
+    EXPECT_EQ(other.retries, stolen.retries) << "jobs=" << jobs;
+  }
 }
 
 }  // namespace

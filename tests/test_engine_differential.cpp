@@ -1,6 +1,6 @@
 // Differential tests for the sharded campaign engine: parallel must
-// equal serial, byte for byte. Three contracts from DESIGN.md
-// ("Sharded campaign engine"):
+// equal serial, byte for byte. Contracts from DESIGN.md ("Sharded
+// campaign engine" / "Dynamic chunk scheduler"):
 //
 //   1. A --jobs 1 campaign is byte-identical to the pre-engine serial
 //      code path (hand-rolled here: EventLoop + Internet + registry +
@@ -11,6 +11,11 @@
 //   3. Shard i of a K-way campaign is byte-identical (qlog traces and
 //      per-shard metrics) to a serial run over that shard's target
 //      slice with shard_seed(seed, i).
+//   4. The dynamic scheduler changes nothing: merged rows, metrics,
+//      report.json and qlog trees under --schedule dynamic are
+//      byte-identical to the static/serial output for every jobs
+//      count, chunk size and impairment profile -- the steal schedule
+//      cannot leak into any output byte.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -24,6 +29,7 @@
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
+#include "report/report.h"
 #include "scanner/qscanner.h"
 #include "scanner/tcp_tls.h"
 #include "telemetry/metrics.h"
@@ -37,11 +43,20 @@ constexpr uint64_t kSeed = 0x5ca9;
 constexpr int kWeek = 18;
 constexpr internet::PopulationParams kPopulation{.dns_corpus_scale = 0.002};
 
+// One immutable snapshot for every campaign in this file: the engine
+// shares it across slices anyway, and reusing it across test cases
+// keeps the differential sweeps fast.
+std::shared_ptr<const internet::Snapshot> shared_snapshot() {
+  static auto snapshot =
+      std::make_shared<const internet::Snapshot>(kPopulation, kWeek);
+  return snapshot;
+}
+
 // A fixed target list drawn from the synthetic population, the same
 // way qscanner_cli --targets would load one from a file.
 std::vector<scanner::QscanTarget> campaign_targets(size_t limit = 48) {
   netsim::EventLoop loop;
-  internet::Internet net(kPopulation, kWeek, loop);
+  internet::Internet net(shared_snapshot(), loop);
   std::vector<scanner::QscanTarget> targets;
   for (const auto& host : net.population().hosts()) {
     if (!host.address.is_v4()) continue;
@@ -71,6 +86,7 @@ struct CampaignRun {
   std::vector<std::string> rows;
   std::string metrics_json;
   std::vector<std::string> shard_metrics_json;
+  std::string report_json;
 };
 
 std::string registry_json(const telemetry::MetricsRegistry& registry) {
@@ -79,25 +95,37 @@ std::string registry_json(const telemetry::MetricsRegistry& registry) {
   return out.str();
 }
 
-// The production shard body from qscanner_cli --targets, in miniature.
-// `impairment` and `retries` mirror the CLI's --impair/--retries flags.
+// The production shard body from qscanner_cli --targets --report, in
+// miniature. `impairment` and `retries` mirror the CLI's
+// --impair/--retries flags; `schedule`/`chunk_size` mirror
+// --schedule/--chunk-size (static by default: the legacy tests in this
+// file pin the PR-2 scheduler, the Dynamic* tests below sweep both).
 CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
                          int jobs, uint64_t seed,
                          const std::string& qlog_dir = "",
                          const std::string& impairment = "",
-                         int retries = 0) {
+                         int retries = 0,
+                         engine::Schedule schedule = engine::Schedule::kStatic,
+                         size_t chunk_size = 0) {
   engine::CampaignOptions options;
   options.jobs = jobs;
   options.seed = seed;
+  options.schedule = schedule;
+  options.chunk_size = chunk_size;
   options.week = kWeek;
   options.population = kPopulation;
+  options.snapshot = shared_snapshot();
   options.qlog_dir = qlog_dir;
   options.impairment = impairment;
   engine::Campaign campaign(options);
 
-  std::vector<std::vector<scanner::QscanResult>> shard_rows(
-      static_cast<size_t>(jobs));
+  const size_t slots = campaign.slot_count(targets.size());
+  std::vector<std::vector<scanner::QscanResult>> shard_rows(slots);
+  engine::ShardFold<report::ReportAccumulator> fold(
+      slots, [] { return report::ReportAccumulator("qscanner"); });
   campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+    auto& acc = fold.slot(env.shard_index);
+    const auto& registry = env.internet->population().as_registry();
     scanner::QscanOptions qopt;
     qopt.seed = env.seed;
     qopt.metrics = env.metrics;
@@ -108,6 +136,8 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
     for (size_t i = env.range.begin; i < env.range.end; ++i) {
       if (!qscanner.compatible(targets[i])) continue;
       rows.push_back(qscanner.scan_one(targets[i]));
+      acc.add_row(report::features_of(rows.back()),
+                  registry.asn_for(rows.back().target.address));
     }
   });
 
@@ -115,8 +145,12 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
   for (const auto& result : engine::concat_shards(std::move(shard_rows)))
     run.rows.push_back(row_of(result));
   run.metrics_json = registry_json(campaign.metrics());
-  for (int s = 0; s < jobs; ++s)
-    run.shard_metrics_json.push_back(registry_json(campaign.shard_metrics(s)));
+  for (size_t s = 0; s < slots; ++s)
+    run.shard_metrics_json.push_back(
+        registry_json(campaign.shard_metrics(static_cast<int>(s))));
+  std::ostringstream report_out;
+  report::write_report_json(report_out, fold.merged());
+  run.report_json = report_out.str();
   return run;
 }
 
@@ -283,6 +317,112 @@ TEST(EngineDifferential, ImpairedMergedOutputIdenticalAcrossShardCounts) {
   }
 }
 
+TEST(EngineDifferential, DynamicMatchesStaticAcrossJobsChunkSizesProfiles) {
+  // The tentpole contract: under --schedule dynamic the merged CSV
+  // rows, merged metrics JSON and report.json are byte-identical to
+  // the static serial baseline for every jobs count x chunk size x
+  // impairment profile. Chunk size changes the partition and the
+  // per-chunk seeds, yet per-target output is invariant to its world,
+  // so even the chunk size must not show up in merged output.
+  auto targets = campaign_targets(24);
+  const size_t n = targets.size();
+  ASSERT_GE(n, 16u);
+
+  for (const std::string profile : {"", "hostile", "throttled"}) {
+    SCOPED_TRACE("profile=" + (profile.empty() ? "clean" : profile));
+    const int retries = profile.empty() ? 0 : 1;
+    auto baseline = run_campaign(targets, 1, kSeed, "", profile, retries,
+                                 engine::Schedule::kStatic);
+    ASSERT_FALSE(baseline.rows.empty());
+    for (size_t chunk : {size_t{1}, size_t{7}, size_t{64}, n}) {
+      SCOPED_TRACE("chunk_size=" + std::to_string(chunk));
+      for (int jobs : {1, 2, 4, 8}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        auto dynamic_run =
+            run_campaign(targets, jobs, kSeed, "", profile, retries,
+                         engine::Schedule::kDynamic, chunk);
+        EXPECT_EQ(dynamic_run.rows, baseline.rows);
+        EXPECT_EQ(dynamic_run.metrics_json, baseline.metrics_json);
+        EXPECT_EQ(dynamic_run.report_json, baseline.report_json);
+      }
+    }
+  }
+}
+
+TEST(EngineDifferential, DynamicQlogTreesIdenticalAcrossJobsForFixedChunk) {
+  // qlog trees fix the chunk partition (one chunkNNNN/ subtree per
+  // chunk), so for a FIXED chunk size the whole tree must be
+  // byte-identical across jobs counts and steal schedules. The auto
+  // chunk size depends on jobs, which is why tree comparisons require
+  // an explicit --chunk-size; merged CSV/metrics are chunk-size
+  // invariant either way.
+  auto targets = campaign_targets(24);
+  constexpr size_t kChunk = 7;
+
+  auto baseline_dir = fresh_dir("engine_dynamic_qlog_j1");
+  auto baseline = run_campaign(targets, 1, kSeed, baseline_dir.string(),
+                               "hostile", 1, engine::Schedule::kDynamic,
+                               kChunk);
+  auto baseline_traces = dir_snapshot(baseline_dir);
+  ASSERT_FALSE(baseline_traces.empty());
+  // 24 targets in chunks of 7 -> chunk0000..chunk0003 subtrees.
+  EXPECT_NE(baseline_traces.begin()->first.find("chunk000"),
+            std::string::npos);
+
+  for (int jobs : {2, 4, 8}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    auto dir = fresh_dir("engine_dynamic_qlog_j" + std::to_string(jobs));
+    auto run = run_campaign(targets, jobs, kSeed, dir.string(), "hostile", 1,
+                            engine::Schedule::kDynamic, kChunk);
+    EXPECT_EQ(run.rows, baseline.rows);
+    EXPECT_EQ(dir_snapshot(dir), baseline_traces);
+  }
+}
+
+TEST(EngineDifferential, SingleChunkDynamicMatchesSerialPathByteForByte) {
+  // chunk_seed(seed, 0) == seed and a single-chunk campaign writes
+  // qlog into the root directory, so dynamic with chunk_size >= n is
+  // byte-identical to the hand-rolled pre-engine serial path --
+  // including the trace tree, which has no chunk subdirectories.
+  auto targets = campaign_targets(24);
+  auto dynamic_dir = fresh_dir("engine_dynamic_single_qlog");
+  auto serial_dir = fresh_dir("engine_dynamic_serial_qlog");
+  auto dynamic_run =
+      run_campaign(targets, 4, kSeed, dynamic_dir.string(), "", 0,
+                   engine::Schedule::kDynamic, targets.size());
+  auto serial_run = run_serial_baseline(targets, kSeed, serial_dir.string());
+
+  EXPECT_FALSE(dynamic_run.rows.empty());
+  EXPECT_EQ(dynamic_run.rows, serial_run.rows);
+  EXPECT_EQ(dynamic_run.metrics_json, serial_run.metrics_json);
+  auto dynamic_traces = dir_snapshot(dynamic_dir);
+  EXPECT_FALSE(dynamic_traces.empty());
+  EXPECT_EQ(dynamic_traces, dir_snapshot(serial_dir));
+}
+
+TEST(EngineDifferential, PerChunkOutputMatchesSerialRunOfChunkSeed) {
+  // Chunk i of a dynamic campaign is byte-identical (per-chunk metrics)
+  // to a serial run over that chunk's target slice with
+  // chunk_seed(seed, i) -- the dynamic analogue of the per-shard
+  // contract above, and the property that makes chunk output
+  // independent of which worker ran it.
+  auto targets = campaign_targets(24);
+  constexpr size_t kChunk = 7;
+  auto dynamic_run = run_campaign(targets, 4, kSeed, "", "", 0,
+                                  engine::Schedule::kDynamic, kChunk);
+
+  auto ranges = engine::chunk_ranges(targets.size(), kChunk);
+  ASSERT_EQ(dynamic_run.shard_metrics_json.size(), ranges.size());
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    SCOPED_TRACE("chunk=" + std::to_string(c));
+    std::vector<scanner::QscanTarget> slice(
+        targets.begin() + static_cast<ptrdiff_t>(ranges[c].begin),
+        targets.begin() + static_cast<ptrdiff_t>(ranges[c].end));
+    auto serial = run_serial_baseline(slice, engine::chunk_seed(kSeed, c));
+    EXPECT_EQ(dynamic_run.shard_metrics_json[c], serial.metrics_json);
+  }
+}
+
 TEST(EngineDifferential, ImpairedRunIsReproducible) {
   // Same seed, same profile, two fresh processes-worth of state: the
   // run must be bit-for-bit repeatable (no wall clock, no ASLR-derived
@@ -331,15 +471,18 @@ TEST(EngineDifferential, TcpTlsCampaignShardsIdentically) {
   }
   ASSERT_GE(targets.size(), 16u);
 
+  // Runs under the default (dynamic) schedule: slots are chunk-count
+  // sized via slot_count, and rows concat in chunk order.
   auto run = [&](int jobs) {
     engine::CampaignOptions options;
     options.jobs = jobs;
     options.seed = kSeed;
     options.week = kWeek;
     options.population = kPopulation;
+    options.snapshot = shared_snapshot();
     engine::Campaign campaign(options);
     std::vector<std::vector<std::string>> shard_rows(
-        static_cast<size_t>(jobs));
+        campaign.slot_count(targets.size()));
     campaign.run(targets.size(), [&](engine::ShardEnv& env) {
       scanner::TcpTlsOptions topt;
       topt.seed = env.seed;

@@ -12,6 +12,7 @@
 #include <sys/resource.h>
 
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -33,9 +34,17 @@ constexpr internet::PopulationParams kPopulation{.dns_corpus_scale = 0.01};
 // 10k targets cycled over the population's IPv4 hosts, so the list is
 // larger than the host set and every shard revisits hosts -- the
 // worst case for hidden cross-attempt state.
+/// One snapshot shared by every campaign in this binary; world
+/// construction is pure over (params, week).
+std::shared_ptr<const internet::Snapshot> shared_snapshot() {
+  static auto snapshot =
+      std::make_shared<const internet::Snapshot>(kPopulation, kWeek);
+  return snapshot;
+}
+
 std::vector<scanner::QscanTarget> soak_targets() {
   netsim::EventLoop loop;
-  internet::Internet net(kPopulation, kWeek, loop);
+  internet::Internet net(shared_snapshot(), loop);
   std::vector<scanner::QscanTarget> base;
   for (const auto& host : net.population().hosts()) {
     if (!host.address.is_v4()) continue;
@@ -62,10 +71,14 @@ SoakOutcome run_soak(const std::vector<scanner::QscanTarget>& targets,
   options.seed = kSeed;
   options.week = kWeek;
   options.population = kPopulation;
+  options.snapshot = shared_snapshot();
   engine::Campaign campaign(options);
 
-  std::vector<size_t> shard_rows(static_cast<size_t>(jobs), 0);
-  std::vector<uint64_t> shard_attempts(static_cast<size_t>(jobs), 0);
+  // Under the dynamic default the slice count is the chunk count, not
+  // jobs -- size every slot vector with slot_count.
+  const size_t slots = campaign.slot_count(targets.size());
+  std::vector<size_t> shard_rows(slots, 0);
+  std::vector<uint64_t> shard_attempts(slots, 0);
   campaign.run(targets.size(), [&](engine::ShardEnv& env) {
     scanner::QscanOptions qopt;
     qopt.seed = env.seed;
@@ -81,9 +94,9 @@ SoakOutcome run_soak(const std::vector<scanner::QscanTarget>& targets,
   });
 
   SoakOutcome out;
-  for (int s = 0; s < jobs; ++s) {
-    out.rows += shard_rows[static_cast<size_t>(s)];
-    out.attempts += shard_attempts[static_cast<size_t>(s)];
+  for (size_t s = 0; s < slots; ++s) {
+    out.rows += shard_rows[s];
+    out.attempts += shard_attempts[s];
   }
   for (int i = 0; i < 5; ++i) {
     auto name = scanner::to_string(static_cast<scanner::QscanOutcome>(i));
@@ -141,12 +154,13 @@ ReportSoak run_report_soak(const std::vector<scanner::QscanTarget>& targets,
   options.seed = kSeed;
   options.week = kWeek;
   options.population = kPopulation;
+  options.snapshot = shared_snapshot();
   engine::Campaign campaign(options);
 
-  std::vector<std::vector<report::QscanRowFeatures>> shard_rows(
-      static_cast<size_t>(jobs));
+  const size_t slots = campaign.slot_count(targets.size());
+  std::vector<std::vector<report::QscanRowFeatures>> shard_rows(slots);
   engine::ShardFold<report::ReportAccumulator> fold(
-      jobs, [] { return report::ReportAccumulator("qscanner"); });
+      slots, [] { return report::ReportAccumulator("qscanner"); });
   campaign.run(targets.size(), [&](engine::ShardEnv& env) {
     auto& acc = fold.slot(env.shard_index);
     acc.attach_metrics(env.metrics);

@@ -15,7 +15,9 @@
 #include "engine/engine.h"
 #include "http/alt_svc.h"
 #include "http/h3.h"
+#include "internet/internet.h"
 #include "internet/tp_catalog.h"
+#include "netsim/event_loop.h"
 #include "quic/frame.h"
 #include "quic/packet.h"
 #include "quic/transport_params.h"
@@ -321,6 +323,161 @@ TEST(ShardSeedSweep, Shard0InheritsCampaignSeedOthersDiverge) {
       seeds.push_back(engine::shard_seed(seed, s));
     std::sort(seeds.begin(), seeds.end());
     EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  }
+}
+
+TEST(ShardPartitionBoundaries, ShardOfIsExactAtFatThinBoundary) {
+  // shard_of is O(1) arithmetic over the balanced partition; the
+  // delicate spots are the boundary between the first n % jobs "fat"
+  // shards (base+1 targets) and the "thin" rest, plus each range's
+  // first/last index. Sweep partitions with a nonzero remainder and
+  // pin every boundary index to the range that owns it.
+  struct Case {
+    size_t n;
+    int jobs;
+  };
+  for (auto [n, jobs] : {Case{5, 7}, Case{7, 3}, Case{97, 8}, Case{100, 13},
+                         Case{1000, 7}, Case{2605, 16}, Case{8, 8},
+                         Case{9, 8}, Case{15, 4}}) {
+    SCOPED_TRACE("n=" + std::to_string(n) + " jobs=" + std::to_string(jobs));
+    auto ranges = engine::shard_ranges(n, jobs);
+    size_t base = n / static_cast<size_t>(jobs);
+    size_t extra = n % static_cast<size_t>(jobs);
+    size_t fat_end = extra * (base + 1);  // first index owned thin-side
+    for (size_t s = 0; s < ranges.size(); ++s) {
+      if (ranges[s].size() == 0) continue;
+      EXPECT_EQ(engine::shard_of(ranges[s].begin, n, jobs),
+                static_cast<int>(s));
+      EXPECT_EQ(engine::shard_of(ranges[s].end - 1, n, jobs),
+                static_cast<int>(s));
+    }
+    if (extra > 0 && fat_end < n) {
+      // Last fat index and first thin index land on adjacent shards.
+      EXPECT_EQ(engine::shard_of(fat_end - 1, n, jobs),
+                static_cast<int>(extra) - 1);
+      EXPECT_EQ(engine::shard_of(fat_end, n, jobs), static_cast<int>(extra));
+    }
+  }
+}
+
+/// --- Dynamic chunk scheduler: partitions, seeds, steal stress -------
+///
+/// The dynamic scheduler's determinism contract (DESIGN.md "Dynamic
+/// chunk scheduler") rests on chunk_ranges being an exact order-stable
+/// partition and chunk_seed being a pure function of (seed, index).
+
+TEST(ChunkPartitionSweep, ConcatenationIsExactlyZeroToN) {
+  struct Case {
+    size_t n;
+    size_t chunk;
+  };
+  for (auto [n, chunk] :
+       {Case{0, 1}, Case{0, 64}, Case{1, 1}, Case{1, 7}, Case{5, 7},
+        Case{7, 3}, Case{48, 1}, Case{48, 7}, Case{48, 48}, Case{48, 64},
+        Case{97, 8}, Case{100, 13}, Case{1000, 64}, Case{2605, 16}}) {
+    SCOPED_TRACE("n=" + std::to_string(n) +
+                 " chunk=" + std::to_string(chunk));
+    auto ranges = engine::chunk_ranges(n, chunk);
+
+    // n == 0 clamps to one empty chunk (the campaign still runs one
+    // world); chunk_size > n clamps to a single [0, n) chunk.
+    if (n == 0) {
+      ASSERT_EQ(ranges.size(), 1u);
+      EXPECT_EQ(ranges[0], (engine::ShardRange{0, 0}));
+    } else {
+      ASSERT_EQ(ranges.size(), (n + chunk - 1) / chunk);
+      if (chunk >= n) {
+        ASSERT_EQ(ranges.size(), 1u);
+        EXPECT_EQ(ranges[0], (engine::ShardRange{0, n}));
+      }
+    }
+
+    // Contiguous, exhaustive, no overlap: concatenating in chunk order
+    // enumerates 0..n-1 exactly once.
+    size_t next = 0;
+    for (const auto& range : ranges) {
+      EXPECT_EQ(range.begin, next);
+      EXPECT_LE(range.begin, range.end);
+      next = range.end;
+    }
+    EXPECT_EQ(next, n);
+
+    // Every chunk except the tail spans exactly chunk_size targets.
+    for (size_t c = 0; c + 1 < ranges.size(); ++c)
+      EXPECT_EQ(ranges[c].size(), chunk);
+
+    // Pure function of (n, chunk_size).
+    EXPECT_EQ(engine::chunk_ranges(n, chunk), ranges);
+  }
+  // chunk_size 0 clamps to 1.
+  EXPECT_EQ(engine::chunk_ranges(5, 0), engine::chunk_ranges(5, 1));
+}
+
+TEST(ChunkSeedSweep, Chunk0InheritsCampaignSeedOthersDistinct) {
+  for (uint64_t seed : {0ull, 1ull, 0x5ca9ull, 0x9e3779b97f4a7c15ull}) {
+    // Chunk 0 inherits the campaign seed: a one-chunk dynamic campaign
+    // is bit-compatible with the serial path.
+    EXPECT_EQ(engine::chunk_seed(seed, 0), seed);
+    // Stable and distinct across chunk indices.
+    std::vector<uint64_t> seeds;
+    for (size_t c = 0; c < 256; ++c) {
+      seeds.push_back(engine::chunk_seed(seed, c));
+      EXPECT_EQ(engine::chunk_seed(seed, c), seeds.back());
+    }
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+  }
+}
+
+TEST(DynamicSchedulerStress, StealScheduleNeverChangesMergedOutput) {
+  // The TSan-tree stress test: 64 single-target chunks on 8 workers,
+  // each chunk burning a pseudorandom (chunk-seed-derived) amount of
+  // virtual time, so workers drain the cursor in a different
+  // interleaving on every repeat. Zero drift allowed: the merged
+  // metrics JSON must be byte-identical across 8 repeats, and the
+  // scheduler must hand out every chunk exactly once.
+  constexpr size_t kTargets = 64;
+  constexpr int kRepeats = 8;
+  auto snapshot = std::make_shared<const internet::Snapshot>(
+      internet::PopulationParams{.dns_corpus_scale = 0.002}, 18);
+
+  std::string baseline;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    SCOPED_TRACE("repeat=" + std::to_string(repeat));
+    engine::CampaignOptions options;
+    options.jobs = 8;
+    options.seed = 0x57ea1;
+    options.schedule = engine::Schedule::kDynamic;
+    options.chunk_size = 1;  // 64 chunks
+    options.snapshot = snapshot;
+    engine::Campaign campaign(options);
+    ASSERT_EQ(campaign.slot_count(kTargets), kTargets);
+
+    campaign.run(kTargets, [](engine::ShardEnv& env) {
+      // Randomized per-chunk virtual-time cost: a chain of timer
+      // events whose count and spacing derive from the chunk seed.
+      crypto::Rng rng(env.seed);
+      uint64_t events = 1 + rng.below(40);
+      uint64_t fired = 0;
+      for (uint64_t e = 0; e < events; ++e)
+        env.loop->schedule_in(rng.below(5000), [&fired] { ++fired; });
+      env.loop->run();
+      env.metrics->counter("stress.chunks").add(1);
+      env.metrics->counter("stress.events").add(fired);
+      env.metrics->counter("stress.virtual_end_us").add(env.loop->now_us());
+    });
+
+    std::ostringstream json;
+    campaign.metrics().write_json(json);
+    const auto* chunks = campaign.metrics().find_counter("stress.chunks");
+    ASSERT_NE(chunks, nullptr);
+    EXPECT_EQ(chunks->value(), kTargets);  // every chunk ran exactly once
+    if (repeat == 0) {
+      baseline = json.str();
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(json.str(), baseline);
+    }
   }
 }
 

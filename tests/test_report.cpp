@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -431,9 +432,17 @@ TEST(Diff, ReportsDriftBetweenWeeks) {
 // Campaign differential: jobs-invariance and offline replay
 // ---------------------------------------------------------------------
 
+/// One snapshot shared by the planning world and every campaign run;
+/// world construction is pure over (params, week).
+std::shared_ptr<const internet::Snapshot> shared_snapshot() {
+  static auto snapshot =
+      std::make_shared<const internet::Snapshot>(kPopulation, kWeek);
+  return snapshot;
+}
+
 std::vector<scanner::QscanTarget> campaign_targets(size_t limit = 48) {
   netsim::EventLoop loop;
-  internet::Internet net(kPopulation, kWeek, loop);
+  internet::Internet net(shared_snapshot(), loop);
   std::vector<scanner::QscanTarget> targets;
   for (const auto& host : net.population().hosts()) {
     if (!host.address.is_v4()) continue;
@@ -459,12 +468,15 @@ CampaignReport run_report_campaign(
   options.seed = kSeed;
   options.week = kWeek;
   options.population = kPopulation;
+  options.snapshot = shared_snapshot();
   engine::Campaign campaign(options);
 
-  std::vector<std::vector<scanner::QscanResult>> shard_rows(
-      static_cast<size_t>(jobs));
+  // Under the dynamic default the slice count is the chunk count, not
+  // jobs -- size every slot with slot_count.
+  const size_t slots = campaign.slot_count(targets.size());
+  std::vector<std::vector<scanner::QscanResult>> shard_rows(slots);
   engine::ShardFold<report::ReportAccumulator> fold(
-      jobs, [] { return report::ReportAccumulator("qscanner"); });
+      slots, [] { return report::ReportAccumulator("qscanner"); });
   campaign.run(targets.size(), [&](engine::ShardEnv& env) {
     auto& acc = fold.slot(env.shard_index);
     acc.attach_metrics(env.metrics);

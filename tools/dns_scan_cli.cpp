@@ -3,15 +3,21 @@
 // domains with any A/AAAA/HTTPS data (the QUIC-relevant subset).
 //
 //   dns_scan_cli [--week N] [--list NAME] [--https-only] [--jobs N]
+//                [--schedule static|dynamic] [--chunk-size N]
 //                [--seed N] [--qlog DIR] [--metrics FILE]
-//                [--impair PROFILE] [--retries N] [--report DIR]
+//                [--sched-metrics FILE] [--impair PROFILE] [--retries N]
+//                [--report DIR]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
-// --jobs N shards the domain corpus across N worker threads (0 =
-// auto-detect hardware concurrency); the merged CSV and metrics are
-// identical for every N (see DESIGN.md "Sharded campaign engine"). --seed reseeds the synthetic population;
-// --qlog writes one JSON-Lines trace per shard; --metrics dumps the
-// merged counters as JSON on exit.
+// --jobs N runs the corpus on N worker threads (0 = auto-detect
+// hardware concurrency); the merged CSV and metrics are identical for
+// every N (see DESIGN.md "Sharded campaign engine" / "Dynamic chunk
+// scheduler"). --schedule picks `dynamic` (default: fixed-size chunks
+// stolen off a shared cursor, size via --chunk-size) or `static` (one
+// balanced shard per worker). --seed reseeds the synthetic population;
+// --qlog writes one JSON-Lines trace per slice; --metrics dumps the
+// merged counters as JSON on exit; --sched-metrics writes the
+// non-deterministic wall-clock scheduler telemetry separately.
 // --impair overlays a named fault-fabric profile on every server link
 // (the resolver path is zone-store backed, so this mainly matters when
 // other scanners share the snapshot); --retries N re-queries
@@ -40,9 +46,12 @@ int main(int argc, char** argv) {
   std::string list = "alexa";
   bool https_only = false;
   int jobs = 1;
+  engine::Schedule schedule = engine::Schedule::kDynamic;
+  size_t chunk_size = 0;
   uint64_t seed = 0x9000;
   std::string qlog_dir;
   std::string metrics_file;
+  std::string sched_metrics_file;
   std::string impair;
   int retries = 0;
   std::string report_dir;
@@ -56,12 +65,23 @@ int main(int argc, char** argv) {
       https_only = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      try {
+        schedule = engine::parse_schedule(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--schedule: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--chunk-size" && i + 1 < argc) {
+      chunk_size = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--qlog" && i + 1 < argc) {
       qlog_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--sched-metrics" && i + 1 < argc) {
+      sched_metrics_file = argv[++i];
     } else if (arg == "--impair" && i + 1 < argc) {
       impair = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
@@ -71,8 +91,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: dns_scan_cli [--week N] [--list NAME] "
-                   "[--https-only] [--jobs N] [--seed N] [--qlog DIR] "
-                   "[--metrics FILE] [--impair PROFILE] [--retries N] "
+                   "[--https-only] [--jobs N] [--schedule static|dynamic] "
+                   "[--chunk-size N] [--seed N] [--qlog DIR] "
+                   "[--metrics FILE] [--sched-metrics FILE] "
+                   "[--impair PROFILE] [--retries N] "
                    "[--report DIR]\n");
       return 2;
     }
@@ -116,20 +138,23 @@ int main(int argc, char** argv) {
 
   engine::CampaignOptions campaign_options;
   campaign_options.jobs = jobs;
+  campaign_options.schedule = schedule;
+  campaign_options.chunk_size = chunk_size;
   campaign_options.seed = seed;
   campaign_options.week = week;
   campaign_options.population = {.seed = seed, .dns_corpus_scale = 0.05};
+  campaign_options.snapshot = std::make_shared<const internet::Snapshot>(
+      campaign_options.population, week);
   campaign_options.qlog_dir = qlog_dir;
   campaign_options.impairment = impair;
   engine::Campaign campaign(campaign_options);
 
-  // The corpus comes from a planning snapshot; shards rebuild the
-  // identical snapshot privately, so the domain slices line up.
+  // The corpus comes from a planning world over the same shared
+  // snapshot every campaign slice uses, so the domain slices line up.
   std::vector<std::string> corpus;
   {
     netsim::EventLoop planning_loop;
-    internet::Internet planning(campaign_options.population, week,
-                                planning_loop);
+    internet::Internet planning(campaign_options.snapshot, planning_loop);
     try {
       corpus = planning.list_corpus(list);
     } catch (const std::exception& e) {
@@ -138,12 +163,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<scanner::DnsListScan> shard_scans(static_cast<size_t>(jobs));
-  std::vector<uint64_t> shard_queries(static_cast<size_t>(jobs), 0);
+  const size_t slots = campaign.slot_count(corpus.size());
+  std::vector<scanner::DnsListScan> shard_scans(slots);
+  std::vector<uint64_t> shard_queries(slots, 0);
 
   const bool want_report = !report_dir.empty();
   engine::ShardFold<report::ReportAccumulator> report_fold(
-      jobs, [] { return report::ReportAccumulator("dns"); });
+      slots, [] { return report::ReportAccumulator("dns"); });
 
   try {
     campaign.run(corpus.size(), [&](engine::ShardEnv& env) {
@@ -180,8 +206,8 @@ int main(int argc, char** argv) {
   scanner::DnsListScan scan;
   scan.list = list;
   uint64_t queries = 0;
-  for (int s = 0; s < jobs; ++s) {
-    auto& shard = shard_scans[static_cast<size_t>(s)];
+  for (size_t s = 0; s < shard_scans.size(); ++s) {
+    auto& shard = shard_scans[s];
     scan.domains_resolved += shard.domains_resolved;
     scan.with_https_rr += shard.with_https_rr;
     scan.with_a += shard.with_a;
@@ -239,6 +265,12 @@ int main(int argc, char** argv) {
                scan.with_aaaa, scan.with_https_rr,
                100.0 * scan.https_rr_rate(),
                static_cast<unsigned long long>(queries));
+  std::fprintf(stderr,
+               "# schedule %s: %zu slice%s, %d worker%s, straggler ratio "
+               "%.2f\n",
+               engine::schedule_name(schedule), campaign.ranges().size(),
+               campaign.ranges().size() == 1 ? "" : "s", jobs,
+               jobs == 1 ? "" : "s", campaign.straggler_ratio());
 
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
@@ -247,6 +279,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.metrics().write_json(out);
+  }
+  if (!sched_metrics_file.empty()) {
+    std::ofstream out(sched_metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", sched_metrics_file.c_str());
+      return 2;
+    }
+    campaign.scheduler_metrics().write_json(out);
   }
   return 0;
 }

@@ -18,6 +18,11 @@
 // just built (to stdout; --diff-all includes unchanged metrics).
 // --tail-as must match the population's tail_as_count (default 240)
 // so offline AS attribution reproduces the in-engine report exactly.
+//
+// Replay is schedule-independent: because the scan CLIs' merged CSV is
+// byte-identical across --jobs values and across --schedule
+// static/dynamic (see DESIGN.md "Dynamic chunk scheduler"), replaying
+// it here reproduces the streaming report of any of those runs.
 #include <cstdio>
 #include <cstring>
 #include <fstream>

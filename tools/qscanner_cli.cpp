@@ -5,19 +5,28 @@
 // fields.
 //
 //   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
-//                [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
-//                [--impair PROFILE] [--retries N] [--breaker]
-//                [--report DIR]
+//                [--jobs N] [--schedule static|dynamic] [--chunk-size N]
+//                [--seed N] [--qlog DIR] [--metrics FILE]
+//                [--sched-metrics FILE] [--impair PROFILE] [--retries N]
+//                [--breaker] [--report DIR]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
 // --all scans every ZMap-discoverable IPv4 address without SNI.
-// --jobs N shards the campaign across N worker threads (see
-// DESIGN.md "Sharded campaign engine"); the merged CSV and metrics
-// are identical for every N, and --jobs 1 is byte-identical to the
-// historical serial path. --jobs 0 auto-detects the machine's
-// hardware concurrency. --qlog writes one JSON-Lines trace per
-// attempt into DIR (per-shard subdirectories when N > 1); --metrics
-// writes the merged counter/histogram summary as JSON on exit.
+// --jobs N runs the campaign on N worker threads (see DESIGN.md
+// "Sharded campaign engine" / "Dynamic chunk scheduler"); the merged
+// CSV and metrics are identical for every N, and --jobs 1 is
+// byte-identical to the historical serial path. --jobs 0 auto-detects
+// the machine's hardware concurrency. --schedule picks the
+// slice-onto-worker mapping: `dynamic` (default) cuts the list into
+// fixed-size chunks (--chunk-size, default ~8 chunks per worker) that
+// workers steal off a shared cursor; `static` pins one balanced shard
+// per worker, the pre-chunk behaviour. --qlog writes one JSON-Lines
+// trace per attempt into DIR (per-slice subdirectories when there is
+// more than one slice); --metrics writes the merged counter/histogram
+// summary as JSON on exit; --sched-metrics writes the wall-clock
+// scheduler telemetry (per-worker busy/steal-wait, chunk durations,
+// straggler ratio) to its own file -- it is non-deterministic and
+// deliberately kept out of the --metrics JSON.
 // --impair overlays a named fault-fabric profile (clean, lossy,
 // bursty, hostile, throttled) on every server link; --retries N gives
 // each timed-out target up to N extra attempts with deterministic
@@ -93,9 +102,12 @@ int main(int argc, char** argv) {
   bool send_http = true;
   std::string targets_file;
   int jobs = 1;
+  engine::Schedule schedule = engine::Schedule::kDynamic;
+  size_t chunk_size = 0;
   uint64_t seed = 0x5ca9;
   std::string qlog_dir;
   std::string metrics_file;
+  std::string sched_metrics_file;
   std::string impair;
   int retries = 0;
   bool breaker = false;
@@ -113,12 +125,23 @@ int main(int argc, char** argv) {
       targets_file = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      try {
+        schedule = engine::parse_schedule(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--schedule: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--chunk-size" && i + 1 < argc) {
+      chunk_size = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--qlog" && i + 1 < argc) {
       qlog_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--sched-metrics" && i + 1 < argc) {
+      sched_metrics_file = argv[++i];
     } else if (arg == "--impair" && i + 1 < argc) {
       impair = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
@@ -130,8 +153,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: qscanner_cli [--week N] [--all | --targets FILE] "
-                   "[--no-http] [--jobs N] [--seed N] [--qlog DIR] "
-                   "[--metrics FILE] [--impair PROFILE] [--retries N] "
+                   "[--no-http] [--jobs N] [--schedule static|dynamic] "
+                   "[--chunk-size N] [--seed N] [--qlog DIR] "
+                   "[--metrics FILE] [--sched-metrics FILE] "
+                   "[--impair PROFILE] [--retries N] "
                    "[--breaker] [--report DIR]\n");
       return 2;
     }
@@ -171,32 +196,46 @@ int main(int argc, char** argv) {
 
   engine::CampaignOptions campaign_options;
   campaign_options.jobs = jobs;
+  campaign_options.schedule = schedule;
+  campaign_options.chunk_size = chunk_size;
   campaign_options.seed = seed;
   campaign_options.week = week;
   campaign_options.population = {.dns_corpus_scale = 0.01};
+  // One immutable snapshot serves the planning world (--all) and every
+  // campaign slice.
+  campaign_options.snapshot = std::make_shared<const internet::Snapshot>(
+      campaign_options.population, week);
   campaign_options.qlog_dir = qlog_dir;
   campaign_options.impairment = impair;
   engine::Campaign campaign(campaign_options);
 
-  // Per-shard output slots: each shard body writes only to its own
-  // index; the engine guarantees exclusive slots and a barrier.
-  std::vector<std::vector<scanner::QscanResult>> shard_rows(
-      static_cast<size_t>(jobs));
-  std::vector<size_t> shard_scanned(static_cast<size_t>(jobs), 0);
-  std::vector<uint64_t> shard_attempts(static_cast<size_t>(jobs), 0);
+  // Per-slice output slots: each body writes only to its own index;
+  // the engine guarantees exclusive slots and a barrier. Sized with
+  // slot_count once the target count is known (dynamic campaigns have
+  // more slices than workers).
+  std::vector<std::vector<scanner::QscanResult>> shard_rows;
+  std::vector<size_t> shard_scanned;
+  std::vector<uint64_t> shard_attempts;
 
-  // In-shard report accumulation: each shard feeds its own slot from
-  // the same results the CSV writer prints, and the shard-order fold
+  // In-slice report accumulation: each slice feeds its own slot from
+  // the same results the CSV writer prints, and the slice-order fold
   // after run() is jobs-invariant (merge_from is associative and
   // commutative).
   const bool want_report = !report_dir.empty();
-  engine::ShardFold<report::ReportAccumulator> report_fold(
-      jobs, [] { return report::ReportAccumulator("qscanner"); });
+  std::optional<engine::ShardFold<report::ReportAccumulator>> report_fold;
+  auto size_slots = [&](size_t target_count) {
+    size_t slots = campaign.slot_count(target_count);
+    shard_rows.assign(slots, {});
+    shard_scanned.assign(slots, 0);
+    shard_attempts.assign(slots, 0);
+    report_fold.emplace(slots,
+                        [] { return report::ReportAccumulator("qscanner"); });
+  };
   auto report_row = [&](engine::ShardEnv& env,
                         const scanner::QscanResult& result) {
     if (!want_report) return;
     const auto& registry = env.internet->population().as_registry();
-    report_fold.slot(env.shard_index)
+    report_fold->slot(env.shard_index)
         .add_row(report::features_of(result),
                  registry.asn_for(result.target.address));
   };
@@ -209,13 +248,13 @@ int main(int argc, char** argv) {
       // scanner over its own hits -- discovery and handshake stay in
       // the same shard world, exactly like the serial pipeline.
       netsim::EventLoop planning_loop;
-      internet::Internet planning(campaign_options.population, week,
-                                  planning_loop);
+      internet::Internet planning(campaign_options.snapshot, planning_loop);
       auto candidates = planning.zmap_candidates_v4();
+      size_slots(candidates.size());
 
       campaign.run(candidates.size(), [&](engine::ShardEnv& env) {
         if (want_report)
-          report_fold.slot(env.shard_index).attach_metrics(env.metrics);
+          report_fold->slot(env.shard_index).attach_metrics(env.metrics);
         scanner::ZmapOptions zmap_options;
         zmap_options.seed = env.seed;
         zmap_options.metrics = env.metrics;
@@ -270,10 +309,11 @@ int main(int argc, char** argv) {
         if (comma != std::string::npos) target.sni = line.substr(comma + 1);
         targets.push_back(std::move(target));
       }
+      size_slots(targets.size());
 
       campaign.run(targets.size(), [&](engine::ShardEnv& env) {
         if (want_report)
-          report_fold.slot(env.shard_index).attach_metrics(env.metrics);
+          report_fold->slot(env.shard_index).attach_metrics(env.metrics);
         scanner::QScanner qscanner(
             env.internet->network(),
             scan_options(env, send_http, retries, breaker));
@@ -300,7 +340,7 @@ int main(int argc, char** argv) {
 
   if (want_report) {
     try {
-      report::write_report_dir(report_dir, report_fold.merged());
+      report::write_report_dir(report_dir, report_fold->merged());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot write report: %s\n", e.what());
       return 2;
@@ -309,12 +349,18 @@ int main(int argc, char** argv) {
 
   size_t scanned = 0;
   uint64_t attempts = 0;
-  for (int s = 0; s < jobs; ++s) {
-    scanned += shard_scanned[static_cast<size_t>(s)];
-    attempts += shard_attempts[static_cast<size_t>(s)];
+  for (size_t s = 0; s < shard_scanned.size(); ++s) {
+    scanned += shard_scanned[s];
+    attempts += shard_attempts[s];
   }
   std::fprintf(stderr, "# scanned %zu targets, %llu attempts\n", scanned,
                static_cast<unsigned long long>(attempts));
+  std::fprintf(stderr,
+               "# schedule %s: %zu slice%s, %d worker%s, straggler ratio "
+               "%.2f\n",
+               engine::schedule_name(schedule), campaign.ranges().size(),
+               campaign.ranges().size() == 1 ? "" : "s", jobs,
+               jobs == 1 ? "" : "s", campaign.straggler_ratio());
   const auto& metrics = campaign.metrics();
   for (size_t i = 0; i < scanner::kQscanOutcomeCount; ++i) {
     auto name =
@@ -332,6 +378,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     metrics.write_json(out);
+  }
+  if (!sched_metrics_file.empty()) {
+    std::ofstream out(sched_metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", sched_metrics_file.c_str());
+      return 2;
+    }
+    campaign.scheduler_metrics().write_json(out);
   }
   return 0;
 }

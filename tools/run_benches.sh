@@ -10,7 +10,10 @@
 # micro_report)
 # write their own JSON summaries. All artifacts land in the repository
 # root as BENCH_<name>.json so diffs of a perf PR show the numbers
-# moving.
+# moving. BENCH_engine.json carries both the clean scaling sweep and
+# the hostile static-vs-dynamic scheduler section (throughput plus
+# busy-time straggler ratios; micro_engine itself enforces the
+# dynamic >= 1.2x static gate on multi-core hosts).
 #
 # Benches also exist as ctest entries labeled `bench` (ctest -L bench),
 # but that path drops the JSON in the build tree; this script is the

@@ -12,6 +12,13 @@
 # the fast lane in each tree. The soak and bench labels are never run
 # here -- they have their own entry points (ctest -L soak,
 # tools/run_benches.sh).
+#
+# On the TSan tree the fast lane runs twice, once per campaign
+# schedule: QREPRO_SCHEDULE=static/dynamic flips the default for every
+# test that leaves CampaignOptions.schedule unset, so the race
+# detector sweeps both the static worker-per-shard path and the
+# dynamic steal loop (tests that pin a schedule explicitly are
+# unaffected by the knob).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -21,12 +28,21 @@ RUN_CHAOS=1
 
 verify_tree() {
   local dir="$1"; shift
+  local schedules=(default)
+  [[ "$dir" == build-tsan ]] && schedules=(static dynamic)
   echo "=== $dir: configure + build"
   cmake -S "$ROOT" -B "$ROOT/$dir" "$@" >/dev/null
   cmake --build "$ROOT/$dir" -j"$JOBS"
-  echo "=== $dir: fast lane (ctest -LE 'soak|bench|chaos')"
-  (cd "$ROOT/$dir" && ctest --output-on-failure -j"$JOBS" \
-      -LE 'soak|bench|chaos')
+  for schedule in "${schedules[@]}"; do
+    echo "=== $dir: fast lane (ctest -LE 'soak|bench|chaos', schedule $schedule)"
+    if [[ "$schedule" == default ]]; then
+      (cd "$ROOT/$dir" && ctest --output-on-failure -j"$JOBS" \
+          -LE 'soak|bench|chaos')
+    else
+      (cd "$ROOT/$dir" && QREPRO_SCHEDULE="$schedule" ctest \
+          --output-on-failure -j"$JOBS" -LE 'soak|bench|chaos')
+    fi
+  done
   if [[ "$RUN_CHAOS" == 1 ]]; then
     echo "=== $dir: chaos lane (ctest -L chaos)"
     (cd "$ROOT/$dir" && ctest --output-on-failure -L chaos)

@@ -4,16 +4,23 @@
 //
 //   zmap_quic_cli [--week N] [--no-padding] [--pps N]
 //                 [--blocklist CIDR[,CIDR...]] [--ipv6] [--csv]
-//                 [--jobs N] [--seed N] [--qlog DIR] [--metrics FILE]
-//                 [--impair PROFILE] [--retries N] [--report DIR]
+//                 [--jobs N] [--schedule static|dynamic] [--chunk-size N]
+//                 [--seed N] [--qlog DIR] [--metrics FILE]
+//                 [--sched-metrics FILE] [--impair PROFILE] [--retries N]
+//                 [--report DIR]
 //
-// --jobs N shards the sweep space across N worker threads, like the
-// real ZMap's sender shards; the merged responder list and metrics are
-// identical for every N (see DESIGN.md "Sharded campaign engine").
-// --jobs 0 auto-detects the machine's hardware concurrency.
-// --qlog writes one JSON-Lines trace per shard (the module is
-// stateless, so each shard's probes and VN responses share one file);
-// --metrics dumps the merged counters as JSON on exit.
+// --jobs N runs the sweep on N worker threads, like the real ZMap's
+// sender shards; the merged responder list and metrics are identical
+// for every N (see DESIGN.md "Sharded campaign engine" / "Dynamic
+// chunk scheduler"). --jobs 0 auto-detects the machine's hardware
+// concurrency. --schedule picks `dynamic` (default: fixed-size chunks
+// stolen off a shared cursor, size via --chunk-size) or `static` (one
+// balanced shard per worker, the pre-chunk behaviour).
+// --qlog writes one JSON-Lines trace per slice (the module is
+// stateless, so each slice's probes and VN responses share one file);
+// --metrics dumps the merged counters as JSON on exit; --sched-metrics
+// writes the non-deterministic wall-clock scheduler telemetry
+// separately.
 // --impair overlays a named fault-fabric profile (clean, lossy,
 // bursty, hostile, throttled) on every server link; --retries N
 // re-probes non-responders in up to N extra sweep rounds. --report
@@ -42,8 +49,11 @@ void usage() {
   std::fprintf(stderr,
                "usage: zmap_quic_cli [--week N] [--no-padding] [--pps N]\n"
                "                     [--blocklist CIDR[,CIDR...]] [--ipv6]\n"
-               "                     [--csv] [--jobs N] [--seed N]\n"
+               "                     [--csv] [--jobs N]\n"
+               "                     [--schedule static|dynamic]\n"
+               "                     [--chunk-size N] [--seed N]\n"
                "                     [--qlog DIR] [--metrics FILE]\n"
+               "                     [--sched-metrics FILE]\n"
                "                     [--impair PROFILE] [--retries N]\n"
                "                     [--report DIR]\n");
 }
@@ -58,9 +68,12 @@ int main(int argc, char** argv) {
   uint64_t pps = 15'000;
   scanner::Blocklist blocklist;
   int jobs = 1;
+  engine::Schedule schedule = engine::Schedule::kDynamic;
+  size_t chunk_size = 0;
   uint64_t seed = 0x2a9a;
   std::string qlog_dir;
   std::string metrics_file;
+  std::string sched_metrics_file;
   std::string impair;
   int retries = 0;
   std::string report_dir;
@@ -71,12 +84,23 @@ int main(int argc, char** argv) {
       week = std::atoi(argv[++i]);
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      try {
+        schedule = engine::parse_schedule(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--schedule: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--chunk-size" && i + 1 < argc) {
+      chunk_size = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--seed" && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--qlog" && i + 1 < argc) {
       qlog_dir = argv[++i];
     } else if (arg == "--metrics" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--sched-metrics" && i + 1 < argc) {
+      sched_metrics_file = argv[++i];
     } else if (arg == "--impair" && i + 1 < argc) {
       impair = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
@@ -151,28 +175,31 @@ int main(int argc, char** argv) {
 
   engine::CampaignOptions campaign_options;
   campaign_options.jobs = jobs;
+  campaign_options.schedule = schedule;
+  campaign_options.chunk_size = chunk_size;
   campaign_options.seed = seed;
   campaign_options.week = week;
   campaign_options.population = {.dns_corpus_scale = 0.01};
+  campaign_options.snapshot = std::make_shared<const internet::Snapshot>(
+      campaign_options.population, week);
   campaign_options.qlog_dir = qlog_dir;
   campaign_options.impairment = impair;
   engine::Campaign campaign(campaign_options);
 
-  // The sweep space comes from a planning snapshot; every shard
-  // rebuilds the identical snapshot privately, so the slices line up.
+  // The sweep space comes from a planning world over the same shared
+  // snapshot every campaign slice uses, so the slices line up.
   netsim::EventLoop planning_loop;
-  internet::Internet planning(campaign_options.population, week,
-                              planning_loop);
+  internet::Internet planning(campaign_options.snapshot, planning_loop);
   auto targets =
       ipv6 ? planning.ipv6_hitlist() : planning.zmap_candidates_v4();
 
-  std::vector<std::vector<scanner::ZmapHit>> shard_hits(
-      static_cast<size_t>(jobs));
-  std::vector<scanner::ZmapStats> shard_stats(static_cast<size_t>(jobs));
+  const size_t slots = campaign.slot_count(targets.size());
+  std::vector<std::vector<scanner::ZmapHit>> shard_hits(slots);
+  std::vector<scanner::ZmapStats> shard_stats(slots);
 
   const bool want_report = !report_dir.empty();
   engine::ShardFold<report::ReportAccumulator> report_fold(
-      jobs, [] { return report::ReportAccumulator("zmap"); });
+      slots, [] { return report::ReportAccumulator("zmap"); });
 
   try {
     campaign.run(targets.size(), [&](engine::ShardEnv& env) {
@@ -259,6 +286,12 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.probes_sent),
                static_cast<unsigned long long>(stats.bytes_sent),
                hits.size());
+  std::fprintf(stderr,
+               "# schedule %s: %zu slice%s, %d worker%s, straggler ratio "
+               "%.2f\n",
+               engine::schedule_name(schedule), campaign.ranges().size(),
+               campaign.ranges().size() == 1 ? "" : "s", jobs,
+               jobs == 1 ? "" : "s", campaign.straggler_ratio());
 
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
@@ -267,6 +300,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.metrics().write_json(out);
+  }
+  if (!sched_metrics_file.empty()) {
+    std::ofstream out(sched_metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", sched_metrics_file.c_str());
+      return 2;
+    }
+    campaign.scheduler_metrics().write_json(out);
   }
   return 0;
 }
