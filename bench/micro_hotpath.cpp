@@ -24,17 +24,28 @@
 //        - packet_roundtrip: protect_into + unprotect_into with reused
 //          scratch, the steady-state per-packet codec cost.
 //
+// The AEAD hot loop is additionally swept once per available crypto
+// backend (DESIGN.md "Crypto backends") and the per-backend ns/op land
+// in the JSON under "backends". Three gates protect the crypto layer:
+//   - portable_batched must beat portable (the 4-block ILP win),
+//   - aesni must be >= 3x portable where the host has the ISA,
+//   - on AES-NI hosts, aead_seal_cached must not regress > 10% against
+//     the committed BENCH_hotpath.json this run is about to replace.
+//
 // Like every bench here the traffic content is deterministic
 // (crypto::Rng with fixed seeds); only wall-clock timing varies.
 #include <chrono>
+#include <cstdlib>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "crypto/aes.h"
+#include "crypto/cpu.h"
 #include "crypto/rng.h"
 #include "engine/engine.h"
 #include "internet/internet.h"
@@ -225,6 +236,63 @@ int main(int argc, char** argv) {
     std::printf("  %-28s %10.1f ns/op  (%llu iters)\n", c.name.c_str(),
                 c.ns_per_op, static_cast<unsigned long long>(c.iterations));
 
+  // A/B the AEAD hot loop across every backend this host can run. The
+  // ciphertext is backend-invariant (tests/test_crypto pins that), so
+  // this isolates pure kernel wall-clock.
+  std::printf("micro_hotpath: aead_seal_cached per crypto backend "
+              "(resolved default: %s)\n",
+              crypto::backend_name(crypto::resolve_backend()));
+  std::map<std::string, double> backend_ns;
+  for (crypto::Backend backend :
+       {crypto::Backend::kPortable, crypto::Backend::kPortableBatched,
+        crypto::Backend::kAesni}) {
+    if (!crypto::backend_available(backend)) continue;
+    crypto::ScopedBackendOverride force(backend);
+    Component c = bench_aead_seal_cached();
+    backend_ns[crypto::backend_name(backend)] = c.ns_per_op;
+    std::printf("  %-28s %10.1f ns/op\n", crypto::backend_name(backend),
+                c.ns_per_op);
+  }
+  const double portable_ns = backend_ns.at("portable");
+  const double batched_ns = backend_ns.at("portable_batched");
+  if (batched_ns >= portable_ns) {
+    std::fprintf(stderr,
+                 "FAIL: portable_batched (%.1f ns/op) is not faster than "
+                 "portable (%.1f ns/op)\n",
+                 batched_ns, portable_ns);
+    return 1;
+  }
+  const bool have_aesni = backend_ns.count("aesni") != 0;
+  if (have_aesni && portable_ns < 3.0 * backend_ns.at("aesni")) {
+    std::fprintf(stderr,
+                 "FAIL: aesni (%.1f ns/op) is below the 3x bar against "
+                 "portable (%.1f ns/op)\n",
+                 backend_ns.at("aesni"), portable_ns);
+    return 1;
+  }
+
+  // Regression gate against the committed numbers this run replaces:
+  // on AES-NI hosts the default-backend aead_seal_cached may not give
+  // back more than 10% of the win. (Portable-only hosts skip the gate;
+  // their absolute numbers are not comparable to the committed ones.)
+  if (have_aesni) {
+    std::ifstream committed(out_path);
+    std::string text((std::istreambuf_iterator<char>(committed)),
+                     std::istreambuf_iterator<char>());
+    const std::string field = "\"aead_seal_cached\": ";
+    size_t at = text.find(field);
+    if (at != std::string::npos) {
+      double before = std::strtod(text.c_str() + at + field.size(), nullptr);
+      if (before > 0 && components[0].ns_per_op > 1.10 * before) {
+        std::fprintf(stderr,
+                     "FAIL: aead_seal_cached regressed to %.1f ns/op, "
+                     "> 10%% over the committed %.1f ns/op in %s\n",
+                     components[0].ns_per_op, before, out_path.c_str());
+        return 1;
+      }
+    }
+  }
+
   netsim::EventLoop planning_loop;
   internet::Internet planning(kPopulation, kWeek, planning_loop);
   std::vector<scanner::QscanTarget> base;
@@ -282,6 +350,18 @@ int main(int argc, char** argv) {
       << ",\n  \"note\": \"baseline is the PR-2 --jobs 1 number from "
          "BENCH_engine.json before this PR; campaign time is best of "
          "three deterministic runs\",\n"
+      << "  \"crypto_backend\": \""
+      << crypto::backend_name(crypto::resolve_backend()) << "\",\n"
+      << "  \"backends\": {\n";
+  {
+    size_t i = 0;
+    for (const auto& [name, ns] : backend_ns) {
+      std::snprintf(line, sizeof line, "    \"%s\": %.1f%s\n", name.c_str(),
+                    ns, ++i < backend_ns.size() ? "," : "");
+      out << line;
+    }
+  }
+  out << "  },\n"
       << "  \"components_ns_per_op\": {\n";
   for (size_t i = 0; i < components.size(); ++i) {
     std::snprintf(line, sizeof line, "    \"%s\": %.1f%s\n",

@@ -1,10 +1,19 @@
 // AES-128 block cipher (FIPS 197) and AES-128-GCM (NIST SP 800-38D),
-// from scratch. QUIC's Initial packet protection (RFC 9001 section 5)
-// mandates AES-128-GCM for payload protection and the raw AES-128 block
-// function for header protection, so a faithful QScanner needs both.
+// from scratch, with backend-dispatched kernels. QUIC's Initial packet
+// protection (RFC 9001 section 5) mandates AES-128-GCM for payload
+// protection and the raw AES-128 block function for header protection,
+// so a faithful QScanner needs both -- and pays for both twice per
+// packet, which makes this the scan campaign's hottest code.
 //
-// This is a straightforward table-free implementation; it is not
-// constant-time and must never be used outside this simulation.
+// Every context resolves its kernel backend exactly once, at
+// construction (crypto::resolve_backend(): --crypto-backend override >
+// QREPRO_CRYPTO_BACKEND > CPUID probe), so long-lived contexts -- the
+// hot-path contract since the PR-3 overhaul -- never pay per-call
+// dispatch. AES-GCM is deterministic: every backend produces identical
+// ciphertext, tags and keystreams, byte for byte (see cpu.h).
+//
+// The portable kernels are not constant-time and none of this must
+// ever be used outside this simulation.
 #pragma once
 
 #include <array>
@@ -12,6 +21,8 @@
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "crypto/cpu.h"
 
 namespace crypto {
 
@@ -32,18 +43,34 @@ class Aes128 {
   std::array<uint8_t, kAesBlockSize> encrypt_block(
       std::span<const uint8_t> block) const;
 
+  /// Encrypts four consecutive 16-byte blocks (64 bytes, out may alias
+  /// in) in one pass. On the portable backends the four states run
+  /// round-interleaved through the T-tables so their dependency chains
+  /// overlap -- the scalar batching win GCM's CTR mode exploits.
+  void encrypt4_blocks(const uint8_t* in, uint8_t* out) const;
+
+  /// The kernel backend this context resolved at construction.
+  Backend backend() const { return backend_; }
+
  private:
-  std::array<std::array<uint8_t, 16>, 11> round_keys_{};
+  friend class Aes128Gcm;  // GCM's CTR pipeline reads the raw schedule
+
+  alignas(16) uint8_t round_keys_[11][16] = {};
+  Backend backend_;
 };
 
 /// AES-128-GCM authenticated encryption. 12-byte nonce, 16-byte tag.
 ///
-/// Construction expands the AES key schedule and precomputes a 256-entry
-/// GHASH multiplication table, so contexts are meant to be long-lived:
-/// build one per traffic secret and reuse it for every packet (see
-/// quic::PacketProtector). The append-style seal/open entry points write
-/// into a caller-owned buffer so the steady-state packet path performs
-/// no allocations of its own.
+/// Construction resolves the kernel backend, expands the AES key
+/// schedule and precomputes the backend's GHASH material (the 256-entry
+/// Shoup table on the portable backends, just H on the PCLMUL one), so
+/// contexts are meant to be long-lived: build one per traffic secret
+/// and reuse it for every packet (see quic::PacketProtector). The
+/// append-style seal/open entry points write into a caller-owned buffer
+/// and run CTR four counter blocks per pass (round-interleaved scalar
+/// on kPortableBatched, pipelined AESENC on kAesni), so the
+/// steady-state packet path performs no allocations and no per-call
+/// backend dispatch of its own.
 class Aes128Gcm {
  public:
   explicit Aes128Gcm(std::span<const uint8_t> key);
@@ -74,6 +101,9 @@ class Aes128Gcm {
       std::span<const uint8_t> nonce, std::span<const uint8_t> aad,
       std::span<const uint8_t> ciphertext_and_tag) const;
 
+  /// The kernel backend this context resolved at construction.
+  Backend backend() const { return aes_.backend(); }
+
  private:
   using Block = std::array<uint8_t, kAesBlockSize>;
   // GF(2^128) element in GCM's bit-reflected representation, split into
@@ -93,10 +123,14 @@ class Aes128Gcm {
             std::span<const uint8_t> ciphertext) const;
 
   Aes128 aes_;
+  // The GHASH key H = AES_Enc(0^16): the PCLMUL backend multiplies by
+  // it directly instead of through the table below.
+  Block h_{};
   // Shoup 8-bit table: htable8_[b] = (b as an 8-bit poly, bit 7 = x^0)
   // * H. Built from 8 shifts plus xors (GF multiplication is linear),
   // so key setup is far cheaper than the bit-by-bit schoolbook build
-  // and each GHASH block costs 16 lookups instead of 32.
+  // and each GHASH block costs 16 lookups instead of 32. Left unbuilt
+  // under Backend::kAesni, where GHASH never reads it.
   std::array<Gf128, 256> htable8_{};
 };
 

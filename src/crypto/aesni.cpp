@@ -1,0 +1,226 @@
+// AES-NI + PCLMUL kernels. This file is compiled with -maes -mpclmul
+// -mssse3 (per-file, see CMakeLists.txt); nothing outside may assume
+// those ISA extensions, so every entry point here stays leaf-like and
+// branch-free on the data path.
+#ifdef QREPRO_HAVE_AESNI
+
+#include "crypto/aesni.h"
+
+#include <cstring>
+
+#include <immintrin.h>
+
+namespace crypto::aesni {
+
+namespace {
+
+// One AES-128 expansion step: `assist` is AESKEYGENASSIST of the
+// previous round key with the round constant; lane 3 holds
+// SubWord(RotWord(w3)) ^ rcon, broadcast and folded into the running
+// prefix xors of the previous key.
+inline __m128i expand_step(__m128i key, __m128i assist) {
+  assist = _mm_shuffle_epi32(assist, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, assist);
+}
+
+struct RoundKeys {
+  __m128i rk[11];
+};
+
+inline RoundKeys load_round_keys(const uint8_t round_keys[11][16]) {
+  RoundKeys keys;
+  for (int i = 0; i < 11; ++i)
+    keys.rk[i] =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(round_keys[i]));
+  return keys;
+}
+
+inline __m128i encrypt_one(const RoundKeys& keys, __m128i block) {
+  block = _mm_xor_si128(block, keys.rk[0]);
+  for (int r = 1; r <= 9; ++r) block = _mm_aesenc_si128(block, keys.rk[r]);
+  return _mm_aesenclast_si128(block, keys.rk[10]);
+}
+
+// GCM bytes are big-endian bit-reflected; byte-swapping maps them onto
+// the integer domain the carry-less multiply below expects.
+inline __m128i bswap128(__m128i x) {
+  const __m128i kMask =
+      _mm_set_epi8(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15);
+  return _mm_shuffle_epi8(x, kMask);
+}
+
+// GF(2^128) multiply for GHASH on byte-swapped operands: 4 carry-less
+// 64x64 multiplies (schoolbook), a left-shift of the 256-bit product by
+// one bit (the bit-reflection fixup), then reduction modulo
+// x^128 + x^7 + x^2 + x + 1. This is the classic routine from Intel's
+// CLMUL/GCM white paper (Gueron & Kounavis), Figure 5.
+inline __m128i gfmul(__m128i a, __m128i b) {
+  __m128i tmp3 = _mm_clmulepi64_si128(a, b, 0x00);
+  __m128i tmp4 = _mm_clmulepi64_si128(a, b, 0x10);
+  __m128i tmp5 = _mm_clmulepi64_si128(a, b, 0x01);
+  __m128i tmp6 = _mm_clmulepi64_si128(a, b, 0x11);
+
+  tmp4 = _mm_xor_si128(tmp4, tmp5);
+  tmp5 = _mm_slli_si128(tmp4, 8);
+  tmp4 = _mm_srli_si128(tmp4, 8);
+  tmp3 = _mm_xor_si128(tmp3, tmp5);  // low 128 bits of the product
+  tmp6 = _mm_xor_si128(tmp6, tmp4);  // high 128 bits of the product
+
+  // Shift the 256-bit product left by one bit.
+  __m128i tmp7 = _mm_srli_epi32(tmp3, 31);
+  __m128i tmp8 = _mm_srli_epi32(tmp6, 31);
+  tmp3 = _mm_slli_epi32(tmp3, 1);
+  tmp6 = _mm_slli_epi32(tmp6, 1);
+  __m128i tmp9 = _mm_srli_si128(tmp7, 12);
+  tmp8 = _mm_slli_si128(tmp8, 4);
+  tmp7 = _mm_slli_si128(tmp7, 4);
+  tmp3 = _mm_or_si128(tmp3, tmp7);
+  tmp6 = _mm_or_si128(tmp6, tmp8);
+  tmp6 = _mm_or_si128(tmp6, tmp9);
+
+  // Reduce: fold the low half through the reflected polynomial.
+  tmp7 = _mm_slli_epi32(tmp3, 31);
+  tmp8 = _mm_slli_epi32(tmp3, 30);
+  tmp9 = _mm_slli_epi32(tmp3, 25);
+  tmp7 = _mm_xor_si128(tmp7, tmp8);
+  tmp7 = _mm_xor_si128(tmp7, tmp9);
+  tmp8 = _mm_srli_si128(tmp7, 4);
+  tmp7 = _mm_slli_si128(tmp7, 12);
+  tmp3 = _mm_xor_si128(tmp3, tmp7);
+
+  __m128i tmp2 = _mm_srli_epi32(tmp3, 1);
+  tmp4 = _mm_srli_epi32(tmp3, 2);
+  tmp5 = _mm_srli_epi32(tmp3, 7);
+  tmp2 = _mm_xor_si128(tmp2, tmp4);
+  tmp2 = _mm_xor_si128(tmp2, tmp5);
+  tmp2 = _mm_xor_si128(tmp2, tmp8);
+  tmp3 = _mm_xor_si128(tmp3, tmp2);
+  return _mm_xor_si128(tmp6, tmp3);
+}
+
+}  // namespace
+
+void expand_key(const uint8_t key[16], uint8_t round_keys[11][16]) {
+  __m128i k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  __m128i rk[11];
+  rk[0] = k;
+  rk[1] = expand_step(rk[0], _mm_aeskeygenassist_si128(rk[0], 0x01));
+  rk[2] = expand_step(rk[1], _mm_aeskeygenassist_si128(rk[1], 0x02));
+  rk[3] = expand_step(rk[2], _mm_aeskeygenassist_si128(rk[2], 0x04));
+  rk[4] = expand_step(rk[3], _mm_aeskeygenassist_si128(rk[3], 0x08));
+  rk[5] = expand_step(rk[4], _mm_aeskeygenassist_si128(rk[4], 0x10));
+  rk[6] = expand_step(rk[5], _mm_aeskeygenassist_si128(rk[5], 0x20));
+  rk[7] = expand_step(rk[6], _mm_aeskeygenassist_si128(rk[6], 0x40));
+  rk[8] = expand_step(rk[7], _mm_aeskeygenassist_si128(rk[7], 0x80));
+  rk[9] = expand_step(rk[8], _mm_aeskeygenassist_si128(rk[8], 0x1b));
+  rk[10] = expand_step(rk[9], _mm_aeskeygenassist_si128(rk[9], 0x36));
+  for (int i = 0; i < 11; ++i)
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(round_keys[i]), rk[i]);
+}
+
+void encrypt_block(const uint8_t round_keys[11][16], const uint8_t* in,
+                   uint8_t* out) {
+  const RoundKeys keys = load_round_keys(round_keys);
+  __m128i block = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  block = encrypt_one(keys, block);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), block);
+}
+
+void ctr_xor(const uint8_t round_keys[11][16], const uint8_t initial[16],
+             const uint8_t* in, uint8_t* out, size_t len) {
+  const RoundKeys keys = load_round_keys(round_keys);
+
+  // Split the counter block into the 12-byte fixed prefix and the
+  // big-endian 32-bit counter word that inc32 touches.
+  uint8_t prefix[16];
+  std::memcpy(prefix, initial, 16);
+  uint32_t ctr = static_cast<uint32_t>(prefix[12]) << 24 |
+                 static_cast<uint32_t>(prefix[13]) << 16 |
+                 static_cast<uint32_t>(prefix[14]) << 8 | prefix[15];
+  auto counter_block = [&](uint32_t value) {
+    uint8_t block[16];
+    std::memcpy(block, prefix, 12);
+    block[12] = static_cast<uint8_t>(value >> 24);
+    block[13] = static_cast<uint8_t>(value >> 16);
+    block[14] = static_cast<uint8_t>(value >> 8);
+    block[15] = static_cast<uint8_t>(value);
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  };
+
+  size_t off = 0;
+  // Four blocks in flight: AESENC has multi-cycle latency but
+  // single-cycle throughput, so independent streams fill the pipe.
+  while (off + 64 <= len) {
+    __m128i b0 = _mm_xor_si128(counter_block(++ctr), keys.rk[0]);
+    __m128i b1 = _mm_xor_si128(counter_block(++ctr), keys.rk[0]);
+    __m128i b2 = _mm_xor_si128(counter_block(++ctr), keys.rk[0]);
+    __m128i b3 = _mm_xor_si128(counter_block(++ctr), keys.rk[0]);
+    for (int r = 1; r <= 9; ++r) {
+      b0 = _mm_aesenc_si128(b0, keys.rk[r]);
+      b1 = _mm_aesenc_si128(b1, keys.rk[r]);
+      b2 = _mm_aesenc_si128(b2, keys.rk[r]);
+      b3 = _mm_aesenc_si128(b3, keys.rk[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, keys.rk[10]);
+    b1 = _mm_aesenclast_si128(b1, keys.rk[10]);
+    b2 = _mm_aesenclast_si128(b2, keys.rk[10]);
+    b3 = _mm_aesenclast_si128(b3, keys.rk[10]);
+    auto xor_store = [&](__m128i ks, size_t at) {
+      __m128i data =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + at));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + at),
+                       _mm_xor_si128(data, ks));
+    };
+    xor_store(b0, off);
+    xor_store(b1, off + 16);
+    xor_store(b2, off + 32);
+    xor_store(b3, off + 48);
+    off += 64;
+  }
+  while (off < len) {
+    __m128i ks = encrypt_one(keys, counter_block(++ctr));
+    uint8_t keystream[16];
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(keystream), ks);
+    size_t n = len - off < 16 ? len - off : 16;
+    for (size_t i = 0; i < n; ++i) out[off + i] = in[off + i] ^ keystream[i];
+    off += n;
+  }
+}
+
+void ghash(const uint8_t h[16], const uint8_t* aad, size_t aad_len,
+           const uint8_t* ct, size_t ct_len, uint8_t out[16]) {
+  const __m128i hk =
+      bswap128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(h)));
+  __m128i y = _mm_setzero_si128();
+  auto absorb = [&](const uint8_t* data, size_t len) {
+    size_t off = 0;
+    for (; off + 16 <= len; off += 16) {
+      __m128i block = bswap128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + off)));
+      y = gfmul(_mm_xor_si128(y, block), hk);
+    }
+    if (off < len) {
+      uint8_t padded[16] = {};
+      std::memcpy(padded, data + off, len - off);
+      __m128i block = bswap128(
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(padded)));
+      y = gfmul(_mm_xor_si128(y, block), hk);
+    }
+  };
+  absorb(aad, aad_len);
+  absorb(ct, ct_len);
+  // Length block: 64-bit big-endian bit counts of AAD then ciphertext.
+  // After bswap128 the whole block reads as a little-endian 128-bit
+  // integer, so set the halves directly.
+  __m128i lengths = _mm_set_epi64x(static_cast<long long>(aad_len) * 8,
+                                   static_cast<long long>(ct_len) * 8);
+  y = gfmul(_mm_xor_si128(y, lengths), hk);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), bswap128(y));
+}
+
+}  // namespace crypto::aesni
+
+#endif  // QREPRO_HAVE_AESNI

@@ -1,0 +1,41 @@
+// Hardware AES-128-GCM kernels (AES-NI + PCLMULQDQ), compiled in their
+// own translation unit with per-file ISA flags (-maes -mpclmul -mssse3;
+// see src/crypto/CMakeLists.txt). Everything here is a pure function
+// over caller-owned byte buffers: no globals, no dispatch -- callers
+// (crypto/aes.cpp) decide per context whether to enter these kernels,
+// and crypto/cpu.cpp decides whether they are safe to enter at all.
+//
+// Declarations exist on every platform; definitions are only compiled
+// when CMake detects the ISA flags (QREPRO_HAVE_AESNI), and callers
+// gate on that define -- never call these unless
+// backend_available(Backend::kAesni) is true.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace crypto::aesni {
+
+/// AES-128 key expansion via AESKEYGENASSIST. Produces byte-identical
+/// round keys to the FIPS 197 scalar expansion.
+void expand_key(const uint8_t key[16], uint8_t round_keys[11][16]);
+
+/// Encrypts one 16-byte block (out may alias in).
+void encrypt_block(const uint8_t round_keys[11][16], const uint8_t* in,
+                   uint8_t* out);
+
+/// GCM CTR keystream: encrypts counters initial+1, initial+2, ... (inc32
+/// on the last 32 bits, big-endian, wrapping) pipelined four blocks at a
+/// time and xors the keystream over `in` into `out` (may alias).
+/// Matches the portable Aes128Gcm::ctr_xor byte for byte.
+void ctr_xor(const uint8_t round_keys[11][16], const uint8_t initial[16],
+             const uint8_t* in, uint8_t* out, size_t len);
+
+/// Full GHASH over aad || ct (each zero-padded to 16-byte blocks)
+/// followed by the 64-bit bit-length block, keyed by h = AES_Enc(0^16).
+/// GF(2^128) multiplies run on PCLMULQDQ; identical output to the
+/// 8-bit Shoup table path.
+void ghash(const uint8_t h[16], const uint8_t* aad, size_t aad_len,
+           const uint8_t* ct, size_t ct_len, uint8_t out[16]);
+
+}  // namespace crypto::aesni

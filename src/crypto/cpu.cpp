@@ -1,0 +1,116 @@
+#include "crypto/cpu.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <cpuid.h>
+#elif defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace crypto {
+
+namespace {
+
+CpuFeatures probe_cpu() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    features.aes = ecx & (1u << 25);     // AES-NI
+    features.pclmul = ecx & (1u << 1);   // PCLMULQDQ
+  }
+#elif defined(__aarch64__) && defined(__linux__)
+  // HWCAP_AES (1<<3) and HWCAP_PMULL (1<<4) from <asm/hwcap.h>, spelled
+  // literally so the probe builds against older libc headers too.
+  unsigned long hwcap = getauxval(AT_HWCAP);
+  features.aes = hwcap & (1ul << 3);
+  features.pclmul = hwcap & (1ul << 4);
+#endif
+  return features;
+}
+
+// Override slot: -1 = none, otherwise the Backend enum value. Atomic
+// because campaign workers construct AEAD contexts while a test or CLI
+// main thread may have set the override just before launching them.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures kFeatures = probe_cpu();
+  return kFeatures;
+}
+
+bool backend_available(Backend backend) {
+  switch (backend) {
+    case Backend::kPortable:
+    case Backend::kPortableBatched:
+      return true;
+    case Backend::kAesni:
+#ifdef QREPRO_HAVE_AESNI
+      return cpu_features().aes && cpu_features().pclmul;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Backend best_backend() {
+  if (backend_available(Backend::kAesni)) return Backend::kAesni;
+  return Backend::kPortableBatched;
+}
+
+Backend parse_backend(const std::string& name) {
+  Backend backend;
+  if (name == "auto") {
+    return best_backend();
+  } else if (name == "portable") {
+    backend = Backend::kPortable;
+  } else if (name == "portable_batched") {
+    backend = Backend::kPortableBatched;
+  } else if (name == "aesni") {
+    backend = Backend::kAesni;
+  } else {
+    throw std::invalid_argument(
+        "unknown crypto backend '" + name +
+        "' (expected portable, portable_batched, aesni or auto)");
+  }
+  if (!backend_available(backend))
+    throw std::invalid_argument("crypto backend '" + name +
+                                "' is not available on this host");
+  return backend;
+}
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kPortable: return "portable";
+    case Backend::kPortableBatched: return "portable_batched";
+    case Backend::kAesni: return "aesni";
+  }
+  return "unknown";
+}
+
+void set_backend_override(std::optional<Backend> backend) {
+  g_override.store(backend ? static_cast<int>(*backend) : -1,
+                   std::memory_order_relaxed);
+}
+
+std::optional<Backend> backend_override() {
+  int v = g_override.load(std::memory_order_relaxed);
+  if (v < 0) return std::nullopt;
+  return static_cast<Backend>(v);
+}
+
+Backend resolve_backend() {
+  if (auto forced = backend_override()) return *forced;
+  if (const char* env = std::getenv("QREPRO_CRYPTO_BACKEND");
+      env && *env != '\0')
+    return parse_backend(env);
+  return best_backend();
+}
+
+}  // namespace crypto

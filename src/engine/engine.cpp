@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "crypto/cpu.h"
 #include "crypto/rng.h"
 #include "netsim/impairment.h"
 
@@ -294,6 +295,13 @@ void Campaign::run(size_t target_count, const ShardBody& body) {
   // fixed order keeps the implementation trivially deterministic).
   for (const auto& slice : shard_metrics_) merged_.merge_from(*slice);
   sched_.write_to(sched_registry_);
+  // Which AEAD kernel the slice worlds resolved (cpu.h enum value).
+  // Quarantined here with the other host-dependent facts: the merged
+  // deterministic registry must stay byte-identical across backends,
+  // and a backend name in it would break exactly the invariance the
+  // differential battery proves.
+  sched_registry_.gauge("hotpath.crypto_backend")
+      .set(static_cast<int64_t>(crypto::resolve_backend()));
 }
 
 }  // namespace engine

@@ -19,6 +19,73 @@
 
 namespace wire {
 
+/// Unaligned big-endian loads/stores. memcpy instead of pointer casts:
+/// byte buffers carry no alignment guarantee, so a direct
+/// uint32_t*/uint64_t* dereference would be undefined behavior (and a
+/// real trap on strict-alignment targets). Compilers fold the
+/// memcpy + byte swap into the same single load x86 got from the cast.
+inline uint16_t load_u16be(const uint8_t* p) {
+  uint16_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#elif defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap16(v);
+#else
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) << 8 | p[1]);
+#endif
+}
+
+inline uint32_t load_u32be(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#elif defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap32(v);
+#else
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | p[3];
+#endif
+}
+
+inline uint64_t load_u64be(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#elif defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  return static_cast<uint64_t>(load_u32be(p)) << 32 | load_u32be(p + 4);
+#endif
+}
+
+inline void store_u32be(uint8_t* p, uint32_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+#elif defined(__GNUC__) || defined(__clang__)
+  v = __builtin_bswap32(v);
+#else
+  uint8_t b[4] = {static_cast<uint8_t>(v >> 24), static_cast<uint8_t>(v >> 16),
+                  static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v)};
+  std::memcpy(p, b, sizeof b);
+  return;
+#endif
+  std::memcpy(p, &v, sizeof v);
+}
+
+inline void store_u64be(uint8_t* p, uint64_t v) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+#elif defined(__GNUC__) || defined(__clang__)
+  v = __builtin_bswap64(v);
+#else
+  store_u32be(p, static_cast<uint32_t>(v >> 32));
+  store_u32be(p + 4, static_cast<uint32_t>(v));
+  return;
+#endif
+  std::memcpy(p, &v, sizeof v);
+}
+
 /// Error thrown by Reader when a read runs past the end of input or a
 /// decoded value violates the wire grammar.
 class DecodeError : public std::runtime_error {
@@ -109,8 +176,7 @@ class Reader {
   }
   uint16_t u16() {
     need(2);
-    uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 |
-                                       data_[pos_ + 1]);
+    uint16_t v = load_u16be(data_.data() + pos_);
     pos_ += 2;
     return v;
   }
@@ -122,12 +188,16 @@ class Reader {
     return v;
   }
   uint32_t u32() {
-    uint32_t hi = u16();
-    return hi << 16 | u16();
+    need(4);
+    uint32_t v = load_u32be(data_.data() + pos_);
+    pos_ += 4;
+    return v;
   }
   uint64_t u64() {
-    uint64_t hi = u32();
-    return hi << 32 | u32();
+    need(8);
+    uint64_t v = load_u64be(data_.data() + pos_);
+    pos_ += 8;
+    return v;
   }
 
   std::span<const uint8_t> bytes(size_t n) {

@@ -295,4 +295,200 @@ TEST(Aes128Gcm, RejectsBadNonceAndShortCiphertext) {
   EXPECT_FALSE(gcm.open(nonce, {}, too_short).has_value());
 }
 
+
+// ---------------------------------------------------------------------------
+// Backend-dispatch battery: every available kernel backend (portable,
+// portable_batched, and aesni when the host has the ISA) must produce
+// byte-identical ciphertext and tags. The KAT vectors are NIST CAVP
+// gcmEncryptExtIV128 entries plus the McGrew-Viega GCM test cases the
+// earlier Aes128Gcm tests already pin for the default backend.
+
+std::vector<crypto::Backend> available_backends() {
+  std::vector<crypto::Backend> backends = {crypto::Backend::kPortable,
+                                           crypto::Backend::kPortableBatched};
+  if (crypto::backend_available(crypto::Backend::kAesni))
+    backends.push_back(crypto::Backend::kAesni);
+  return backends;
+}
+
+struct GcmKat {
+  const char* name;
+  const char* key;
+  const char* iv;
+  const char* aad;
+  const char* pt;
+  const char* ct;  // ciphertext without the tag
+  const char* tag;
+};
+
+// CAVP gcmEncryptExtIV128.rsp entries (96-bit IV sections) plus
+// McGrew-Viega cases 2-4; between them they cover empty-everything,
+// AAD-only, PT-only, block-aligned, multi-block and ragged-tail shapes.
+const GcmKat kGcmKats[] = {
+    {"cavp_pt0_aad0", "11754cd72aec309bf52f7687212e8957",
+     "3c819d9a9bed087615030b65", "", "", "",
+     "250327c674aaf477aef2675748cf6971"},
+    {"cavp_pt0_aad16", "77be63708971c4e240d1cb79e8d77feb",
+     "e0e00f19fed7ba0136a797f3", "7a43ec1d9c0a5a78a0b16533a6213cab", "", "",
+     "209fcc8d3675ed938e9c7166709dd946"},
+    {"cavp_pt16_aad0", "7fddb57453c241d03efbed3ac44e371c",
+     "ee283a3fc75575e33efd4887", "", "d5de42b461646c255c87bd2962d3b9a2",
+     "2ccda4a5415cb91e135c2a0f78c9b2fd", "b36d1df9b9d5e596f83e8b7f52971cb3"},
+    {"cavp_pt16_aad16", "c939cc13397c1d37de6ae0e1cb7c423c",
+     "b3d8cc017cbb89b39e0f67e2", "24825602bd12a984e0092d3e448eda5f",
+     "c3b3c41f113a31b73d9a5cd432103069", "93fe7d9e9bfd10348a5606e5cafa7354",
+     "0032a1dc85f1c9786925a2e71d8272dd"},
+    {"mcgrew_case2", "00000000000000000000000000000000",
+     "000000000000000000000000", "", "00000000000000000000000000000000",
+     "0388dace60b6a392f328c2b971b2fe78", "ab6e47d42cec13bdf53a67b21257bddf"},
+    {"mcgrew_case3", "feffe9928665731c6d6a8f9467308308",
+     "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+     "4d5c2af327cd64a62cf35abd2ba6fab4"},
+    {"mcgrew_case4", "feffe9928665731c6d6a8f9467308308",
+     "cafebabefacedbaddecaf888", "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+     "5bc94fbc3221a5db94fae95ae7121a47"},
+};
+
+TEST(Aes128GcmBackends, CavpEncryptKats) {
+  for (crypto::Backend backend : available_backends()) {
+    crypto::ScopedBackendOverride force(backend);
+    for (const GcmKat& kat : kGcmKats) {
+      SCOPED_TRACE(std::string(crypto::backend_name(backend)) + "/" +
+                   kat.name);
+      crypto::Aes128Gcm gcm(from_hex(kat.key));
+      EXPECT_EQ(gcm.backend(), backend);
+      auto sealed =
+          gcm.seal(from_hex(kat.iv), from_hex(kat.aad), from_hex(kat.pt));
+      EXPECT_EQ(to_hex(sealed), std::string(kat.ct) + kat.tag);
+    }
+  }
+}
+
+TEST(Aes128GcmBackends, CavpDecryptKats) {
+  for (crypto::Backend backend : available_backends()) {
+    crypto::ScopedBackendOverride force(backend);
+    for (const GcmKat& kat : kGcmKats) {
+      SCOPED_TRACE(std::string(crypto::backend_name(backend)) + "/" +
+                   kat.name);
+      crypto::Aes128Gcm gcm(from_hex(kat.key));
+      auto sealed = from_hex(std::string(kat.ct) + kat.tag);
+      auto opened = gcm.open(from_hex(kat.iv), from_hex(kat.aad), sealed);
+      ASSERT_TRUE(opened.has_value());
+      EXPECT_EQ(to_hex(*opened), kat.pt);
+      // Any single flipped bit -- ciphertext, or either tag half --
+      // must fail authentication.
+      for (size_t at : {size_t{0}, sealed.size() - 16, sealed.size() - 1}) {
+        auto bad = sealed;
+        bad[at] ^= 0x80;
+        EXPECT_FALSE(
+            gcm.open(from_hex(kat.iv), from_hex(kat.aad), bad).has_value())
+            << "flip at " << at;
+      }
+    }
+  }
+}
+
+TEST(Aes128GcmBackends, CavpDecryptTagOnlyVector) {
+  // CAVP gcmDecrypt128.rsp entry: ciphertext is just a 16-byte tag over
+  // the empty plaintext. Every backend must authenticate it, and reject
+  // the same tag under a different key or with any byte disturbed.
+  const auto iv = from_hex("113b9785971864c83b01c787");
+  const auto tag = from_hex("72ac8493e3a5228b5d130a69d2510e42");
+  for (crypto::Backend backend : available_backends()) {
+    crypto::ScopedBackendOverride force(backend);
+    SCOPED_TRACE(crypto::backend_name(backend));
+    crypto::Aes128Gcm gcm(from_hex("cf063a34d4a9a76c2c86787d3f96db71"));
+    auto opened = gcm.open(iv, {}, tag);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_TRUE(opened->empty());
+
+    auto bad_tag = tag;
+    bad_tag[3] ^= 0x04;
+    EXPECT_FALSE(gcm.open(iv, {}, bad_tag).has_value());
+    crypto::Aes128Gcm wrong_key(from_hex("cf063a34d4a9a76c2c86787d3f96db72"));
+    EXPECT_FALSE(wrong_key.open(iv, {}, tag).has_value());
+  }
+}
+
+TEST(Aes128GcmBackends, AllBackendsByteIdentical) {
+  // Differential sweep: portable is the reference; every other backend
+  // must agree on ciphertext, tag, and open() for lengths that cover
+  // the batched kernels' 64-byte main loop, its ragged tail, and the
+  // short path (plus QUIC's typical 1200-byte datagram).
+  crypto::Rng rng(0x9000);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{16}, size_t{48}, size_t{63},
+                     size_t{64}, size_t{65}, size_t{127}, size_t{128},
+                     size_t{300}, size_t{1200}}) {
+    auto key = rng.bytes(16);
+    auto nonce = rng.bytes(12);
+    auto aad = rng.bytes(len % 32);
+    auto pt = rng.bytes(len);
+
+    std::optional<std::vector<uint8_t>> reference;
+    for (crypto::Backend backend : available_backends()) {
+      crypto::ScopedBackendOverride force(backend);
+      SCOPED_TRACE(std::string(crypto::backend_name(backend)) + "/len=" +
+                   std::to_string(len));
+      crypto::Aes128Gcm gcm(key);
+      auto sealed = gcm.seal(nonce, aad, pt);
+      if (!reference) {
+        reference = sealed;
+      } else {
+        EXPECT_EQ(to_hex(sealed), to_hex(*reference));
+      }
+      auto opened = gcm.open(nonce, aad, sealed);
+      ASSERT_TRUE(opened.has_value());
+      EXPECT_EQ(*opened, pt);
+    }
+  }
+}
+
+TEST(Aes128Backends, Encrypt4MatchesSingleBlocks) {
+  crypto::Rng rng(0x51);
+  auto key = rng.bytes(16);
+  auto in = rng.bytes(64);
+  for (crypto::Backend backend : available_backends()) {
+    crypto::ScopedBackendOverride force(backend);
+    SCOPED_TRACE(crypto::backend_name(backend));
+    crypto::Aes128 aes(key);
+    uint8_t batched[64];
+    aes.encrypt4_blocks(in.data(), batched);
+    for (int b = 0; b < 4; ++b) {
+      uint8_t one[16];
+      aes.encrypt_block(in.data() + 16 * b, one);
+      EXPECT_EQ(std::memcmp(one, batched + 16 * b, 16), 0) << "block " << b;
+    }
+  }
+}
+
+TEST(CryptoCpu, ParseBackendNamesAndOverride) {
+  EXPECT_EQ(crypto::parse_backend("portable"), crypto::Backend::kPortable);
+  EXPECT_EQ(crypto::parse_backend("portable_batched"),
+            crypto::Backend::kPortableBatched);
+  EXPECT_EQ(crypto::parse_backend("auto"), crypto::best_backend());
+  EXPECT_THROW(crypto::parse_backend("sse9000"), std::invalid_argument);
+  EXPECT_THROW(crypto::parse_backend(""), std::invalid_argument);
+  if (!crypto::backend_available(crypto::Backend::kAesni)) {
+    EXPECT_THROW(crypto::parse_backend("aesni"), std::invalid_argument);
+  }
+
+  EXPECT_TRUE(crypto::backend_available(crypto::best_backend()));
+  for (crypto::Backend backend : available_backends()) {
+    EXPECT_STREQ(crypto::backend_name(backend),
+                 crypto::backend_name(crypto::parse_backend(
+                     crypto::backend_name(backend))));
+    crypto::ScopedBackendOverride force(backend);
+    EXPECT_EQ(crypto::resolve_backend(), backend);
+  }
+  EXPECT_FALSE(crypto::backend_override().has_value());
+}
+
 }  // namespace

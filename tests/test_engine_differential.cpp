@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/cpu.h"
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
@@ -518,6 +519,61 @@ TEST(EngineDifferential, CampaignRunIsSingleUse) {
   campaign.run(0, [](engine::ShardEnv&) {});
   EXPECT_THROW(campaign.run(0, [](engine::ShardEnv&) {}),
                std::logic_error);
+}
+
+
+TEST(EngineDifferential, CryptoBackendsProduceIdenticalCampaignOutput) {
+  // The AES-GCM kernel backend (DESIGN.md "Crypto backends") may only
+  // change wall-clock, never an output byte: merged rows, merged and
+  // per-shard metrics JSON, report.json and the qlog trees must be
+  // byte-identical between the portable reference backend and the
+  // fastest backend this host offers, for every jobs x schedule
+  // combination. Every QUIC handshake in the campaign runs AES-GCM, so
+  // a single diverging keystream or tag byte would cascade into these
+  // artifacts.
+  crypto::Backend contender = crypto::best_backend();
+  if (contender == crypto::Backend::kPortable)
+    contender = crypto::Backend::kPortableBatched;
+  auto targets = campaign_targets();
+
+  struct Config {
+    int jobs;
+    engine::Schedule schedule;
+  };
+  for (const Config& config :
+       {Config{1, engine::Schedule::kStatic},
+        Config{1, engine::Schedule::kDynamic},
+        Config{4, engine::Schedule::kStatic},
+        Config{4, engine::Schedule::kDynamic}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(config.jobs) + " schedule=" +
+                 engine::schedule_name(config.schedule));
+
+    auto portable_dir = fresh_dir("engine_backend_portable_qlog");
+    CampaignRun reference;
+    {
+      crypto::ScopedBackendOverride force(crypto::Backend::kPortable);
+      reference = run_campaign(targets, config.jobs, kSeed,
+                               portable_dir.string(), "", 0,
+                               config.schedule);
+    }
+    EXPECT_FALSE(reference.rows.empty());
+
+    auto contender_dir = fresh_dir("engine_backend_contender_qlog");
+    CampaignRun run;
+    {
+      crypto::ScopedBackendOverride force(contender);
+      run = run_campaign(targets, config.jobs, kSeed,
+                         contender_dir.string(), "", 0, config.schedule);
+    }
+
+    EXPECT_EQ(run.rows, reference.rows);
+    EXPECT_EQ(run.metrics_json, reference.metrics_json);
+    EXPECT_EQ(run.shard_metrics_json, reference.shard_metrics_json);
+    EXPECT_EQ(run.report_json, reference.report_json);
+    auto reference_traces = dir_snapshot(portable_dir);
+    EXPECT_FALSE(reference_traces.empty());
+    EXPECT_EQ(dir_snapshot(contender_dir), reference_traces);
+  }
 }
 
 }  // namespace

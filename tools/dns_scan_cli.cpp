@@ -33,6 +33,7 @@
 #include <string>
 #include <thread>
 
+#include "crypto/cpu.h"
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
@@ -72,6 +73,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--schedule: %s\n", e.what());
         return 2;
       }
+    } else if (arg == "--crypto-backend" && i + 1 < argc) {
+      try {
+        crypto::set_backend_override(crypto::parse_backend(argv[++i]));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--crypto-backend: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--chunk-size" && i + 1 < argc) {
       chunk_size = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -95,7 +103,7 @@ int main(int argc, char** argv) {
                    "[--chunk-size N] [--seed N] [--qlog DIR] "
                    "[--metrics FILE] [--sched-metrics FILE] "
                    "[--impair PROFILE] [--retries N] "
-                   "[--report DIR]\n");
+                   "[--report DIR] [--crypto-backend NAME]\n");
       return 2;
     }
   }
@@ -271,6 +279,8 @@ int main(int argc, char** argv) {
                engine::schedule_name(schedule), campaign.ranges().size(),
                campaign.ranges().size() == 1 ? "" : "s", jobs,
                jobs == 1 ? "" : "s", campaign.straggler_ratio());
+  std::fprintf(stderr, "# crypto backend: %s\n",
+               crypto::backend_name(crypto::resolve_backend()));
 
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
@@ -279,6 +289,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.metrics().write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", metrics_file.c_str());
+      return 2;
+    }
   }
   if (!sched_metrics_file.empty()) {
     std::ofstream out(sched_metrics_file);
@@ -287,6 +302,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.scheduler_metrics().write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", sched_metrics_file.c_str());
+      return 2;
+    }
   }
   return 0;
 }

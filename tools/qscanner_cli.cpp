@@ -8,7 +8,7 @@
 //                [--jobs N] [--schedule static|dynamic] [--chunk-size N]
 //                [--seed N] [--qlog DIR] [--metrics FILE]
 //                [--sched-metrics FILE] [--impair PROFILE] [--retries N]
-//                [--breaker] [--report DIR]
+//                [--breaker] [--report DIR] [--crypto-backend NAME]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
 // --all scans every ZMap-discoverable IPv4 address without SNI.
@@ -36,6 +36,10 @@
 // the CSV writer) and writes DIR/report.{json,md} from the shard-order
 // fold -- byte-identical for every --jobs N and to an offline
 // qreport_cli replay of the CSV.
+// --crypto-backend forces the AES-GCM kernel backend (portable,
+// portable_batched, aesni, auto) for A/B timing runs; every backend
+// produces byte-identical output, so only wall-clock changes (see
+// DESIGN.md "Crypto backends").
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,6 +48,7 @@
 #include <string>
 #include <thread>
 
+#include "crypto/cpu.h"
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
@@ -132,6 +137,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--schedule: %s\n", e.what());
         return 2;
       }
+    } else if (arg == "--crypto-backend" && i + 1 < argc) {
+      try {
+        crypto::set_backend_override(crypto::parse_backend(argv[++i]));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--crypto-backend: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--chunk-size" && i + 1 < argc) {
       chunk_size = std::strtoull(argv[++i], nullptr, 0);
     } else if (arg == "--seed" && i + 1 < argc) {
@@ -157,7 +169,7 @@ int main(int argc, char** argv) {
                    "[--chunk-size N] [--seed N] [--qlog DIR] "
                    "[--metrics FILE] [--sched-metrics FILE] "
                    "[--impair PROFILE] [--retries N] "
-                   "[--breaker] [--report DIR]\n");
+                   "[--breaker] [--report DIR] [--crypto-backend NAME]\n");
       return 2;
     }
   }
@@ -361,6 +373,8 @@ int main(int argc, char** argv) {
                engine::schedule_name(schedule), campaign.ranges().size(),
                campaign.ranges().size() == 1 ? "" : "s", jobs,
                jobs == 1 ? "" : "s", campaign.straggler_ratio());
+  std::fprintf(stderr, "# crypto backend: %s\n",
+               crypto::backend_name(crypto::resolve_backend()));
   const auto& metrics = campaign.metrics();
   for (size_t i = 0; i < scanner::kQscanOutcomeCount; ++i) {
     auto name =
@@ -378,6 +392,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     metrics.write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", metrics_file.c_str());
+      return 2;
+    }
   }
   if (!sched_metrics_file.empty()) {
     std::ofstream out(sched_metrics_file);
@@ -386,6 +405,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.scheduler_metrics().write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", sched_metrics_file.c_str());
+      return 2;
+    }
   }
   return 0;
 }

@@ -14,6 +14,14 @@
 # the hostile static-vs-dynamic scheduler section (throughput plus
 # busy-time straggler ratios; micro_engine itself enforces the
 # dynamic >= 1.2x static gate on multi-core hosts).
+# BENCH_hotpath.json additionally carries the per-crypto-backend
+# aead_seal_cached sweep ("backends": portable / portable_batched /
+# aesni); micro_hotpath enforces three crypto gates before it rewrites
+# the file -- portable_batched must beat portable, aesni must be >= 3x
+# portable where the ISA exists, and on AES-NI hosts aead_seal_cached
+# must not regress > 10% against the committed JSON it is replacing --
+# so a kernel regression fails this script instead of silently
+# refreshing the baseline it is measured against.
 #
 # Benches also exist as ctest entries labeled `bench` (ctest -L bench),
 # but that path drops the JSON in the build tree; this script is the

@@ -19,6 +19,14 @@
 # detector sweeps both the static worker-per-shard path and the
 # dynamic steal loop (tests that pin a schedule explicitly are
 # unaffected by the knob).
+#
+# On the plain tree the fast lane also runs a second pass with
+# QREPRO_CRYPTO_BACKEND=portable, forcing every AEAD context onto the
+# reference scalar kernels: the default pass exercises the fastest
+# backend the host offers (aesni where the ISA exists), so between the
+# two passes both ends of the crypto dispatch (DESIGN.md "Crypto
+# backends") stay green -- tests that pin a backend explicitly are
+# unaffected by the knob.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -30,18 +38,21 @@ verify_tree() {
   local dir="$1"; shift
   local schedules=(default)
   [[ "$dir" == build-tsan ]] && schedules=(static dynamic)
+  local backends=(default)
+  [[ "$dir" == build ]] && backends=(default portable)
   echo "=== $dir: configure + build"
   cmake -S "$ROOT" -B "$ROOT/$dir" "$@" >/dev/null
   cmake --build "$ROOT/$dir" -j"$JOBS"
   for schedule in "${schedules[@]}"; do
-    echo "=== $dir: fast lane (ctest -LE 'soak|bench|chaos', schedule $schedule)"
-    if [[ "$schedule" == default ]]; then
-      (cd "$ROOT/$dir" && ctest --output-on-failure -j"$JOBS" \
-          -LE 'soak|bench|chaos')
-    else
-      (cd "$ROOT/$dir" && QREPRO_SCHEDULE="$schedule" ctest \
-          --output-on-failure -j"$JOBS" -LE 'soak|bench|chaos')
-    fi
+    for backend in "${backends[@]}"; do
+      echo "=== $dir: fast lane (ctest -LE 'soak|bench|chaos'," \
+           "schedule $schedule, crypto backend $backend)"
+      local env_prefix=(env)
+      [[ "$schedule" != default ]] && env_prefix+=("QREPRO_SCHEDULE=$schedule")
+      [[ "$backend" != default ]] && env_prefix+=("QREPRO_CRYPTO_BACKEND=$backend")
+      (cd "$ROOT/$dir" && "${env_prefix[@]}" ctest --output-on-failure \
+          -j"$JOBS" -LE 'soak|bench|chaos')
+    done
   done
   if [[ "$RUN_CHAOS" == 1 ]]; then
     echo "=== $dir: chaos lane (ctest -L chaos)"

@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 
+#include "crypto/cpu.h"
 #include "engine/engine.h"
 #include "internet/internet.h"
 #include "netsim/impairment.h"
@@ -55,7 +56,8 @@ void usage() {
                "                     [--qlog DIR] [--metrics FILE]\n"
                "                     [--sched-metrics FILE]\n"
                "                     [--impair PROFILE] [--retries N]\n"
-               "                     [--report DIR]\n");
+               "                     [--report DIR]\n"
+               "                     [--crypto-backend NAME]\n");
 }
 
 }  // namespace
@@ -89,6 +91,13 @@ int main(int argc, char** argv) {
         schedule = engine::parse_schedule(argv[++i]);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "--schedule: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--crypto-backend" && i + 1 < argc) {
+      try {
+        crypto::set_backend_override(crypto::parse_backend(argv[++i]));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--crypto-backend: %s\n", e.what());
         return 2;
       }
     } else if (arg == "--chunk-size" && i + 1 < argc) {
@@ -292,6 +301,8 @@ int main(int argc, char** argv) {
                engine::schedule_name(schedule), campaign.ranges().size(),
                campaign.ranges().size() == 1 ? "" : "s", jobs,
                jobs == 1 ? "" : "s", campaign.straggler_ratio());
+  std::fprintf(stderr, "# crypto backend: %s\n",
+               crypto::backend_name(crypto::resolve_backend()));
 
   if (!metrics_file.empty()) {
     std::ofstream out(metrics_file);
@@ -300,6 +311,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.metrics().write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", metrics_file.c_str());
+      return 2;
+    }
   }
   if (!sched_metrics_file.empty()) {
     std::ofstream out(sched_metrics_file);
@@ -308,6 +324,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     campaign.scheduler_metrics().write_json(out);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "error writing %s\n", sched_metrics_file.c_str());
+      return 2;
+    }
   }
   return 0;
 }
