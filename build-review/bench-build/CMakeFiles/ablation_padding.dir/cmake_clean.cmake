@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_padding"
+  "../bench/ablation_padding.pdb"
+  "CMakeFiles/ablation_padding.dir/ablation_padding.cpp.o"
+  "CMakeFiles/ablation_padding.dir/ablation_padding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_padding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scanner_versions"
+  "../bench/ablation_scanner_versions.pdb"
+  "CMakeFiles/ablation_scanner_versions.dir/ablation_scanner_versions.cpp.o"
+  "CMakeFiles/ablation_scanner_versions.dir/ablation_scanner_versions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scanner_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tp_flow"
+  "../bench/ablation_tp_flow.pdb"
+  "CMakeFiles/ablation_tp_flow.dir/ablation_tp_flow.cpp.o"
+  "CMakeFiles/ablation_tp_flow.dir/ablation_tp_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_https_rr_adoption"
+  "../bench/fig3_https_rr_adoption.pdb"
+  "CMakeFiles/fig3_https_rr_adoption.dir/fig3_https_rr_adoption.cpp.o"
+  "CMakeFiles/fig3_https_rr_adoption.dir/fig3_https_rr_adoption.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_https_rr_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

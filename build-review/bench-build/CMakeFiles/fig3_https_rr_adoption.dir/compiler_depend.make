@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_https_rr_adoption.
+# This may be replaced when dependencies are built.

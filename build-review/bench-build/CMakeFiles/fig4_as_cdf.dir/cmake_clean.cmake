@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_as_cdf"
+  "../bench/fig4_as_cdf.pdb"
+  "CMakeFiles/fig4_as_cdf.dir/fig4_as_cdf.cpp.o"
+  "CMakeFiles/fig4_as_cdf.dir/fig4_as_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_as_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_version_sets"
+  "../bench/fig5_version_sets.pdb"
+  "CMakeFiles/fig5_version_sets.dir/fig5_version_sets.cpp.o"
+  "CMakeFiles/fig5_version_sets.dir/fig5_version_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_version_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

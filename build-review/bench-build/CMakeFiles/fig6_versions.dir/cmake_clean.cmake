@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_versions"
+  "../bench/fig6_versions.pdb"
+  "CMakeFiles/fig6_versions.dir/fig6_versions.cpp.o"
+  "CMakeFiles/fig6_versions.dir/fig6_versions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_alpn_sets"
+  "../bench/fig7_alpn_sets.pdb"
+  "CMakeFiles/fig7_alpn_sets.dir/fig7_alpn_sets.cpp.o"
+  "CMakeFiles/fig7_alpn_sets.dir/fig7_alpn_sets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_alpn_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_success_as_cdf"
+  "../bench/fig8_success_as_cdf.pdb"
+  "CMakeFiles/fig8_success_as_cdf.dir/fig8_success_as_cdf.cpp.o"
+  "CMakeFiles/fig8_success_as_cdf.dir/fig8_success_as_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_success_as_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

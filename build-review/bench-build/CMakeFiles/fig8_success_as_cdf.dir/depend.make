@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_success_as_cdf.
+# This may be replaced when dependencies are built.

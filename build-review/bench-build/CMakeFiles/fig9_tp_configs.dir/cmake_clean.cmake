@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_tp_configs"
+  "../bench/fig9_tp_configs.pdb"
+  "CMakeFiles/fig9_tp_configs.dir/fig9_tp_configs.cpp.o"
+  "CMakeFiles/fig9_tp_configs.dir/fig9_tp_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tp_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_chaos"
+  "../bench/micro_chaos.pdb"
+  "CMakeFiles/micro_chaos.dir/micro_chaos.cpp.o"
+  "CMakeFiles/micro_chaos.dir/micro_chaos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_codec"
+  "../bench/micro_codec.pdb"
+  "CMakeFiles/micro_codec.dir/micro_codec.cpp.o"
+  "CMakeFiles/micro_codec.dir/micro_codec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hotpath"
+  "../bench/micro_hotpath.pdb"
+  "CMakeFiles/micro_hotpath.dir/micro_hotpath.cpp.o"
+  "CMakeFiles/micro_hotpath.dir/micro_hotpath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

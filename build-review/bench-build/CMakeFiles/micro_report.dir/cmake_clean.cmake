@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_report"
+  "../bench/micro_report.pdb"
+  "CMakeFiles/micro_report.dir/micro_report.cpp.o"
+  "CMakeFiles/micro_report.dir/micro_report.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_scanner"
+  "../bench/micro_scanner.pdb"
+  "CMakeFiles/micro_scanner.dir/micro_scanner.cpp.o"
+  "CMakeFiles/micro_scanner.dir/micro_scanner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_telemetry"
+  "../bench/micro_telemetry.pdb"
+  "CMakeFiles/micro_telemetry.dir/micro_telemetry.cpp.o"
+  "CMakeFiles/micro_telemetry.dir/micro_telemetry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_found_targets"
+  "../bench/table1_found_targets.pdb"
+  "CMakeFiles/table1_found_targets.dir/table1_found_targets.cpp.o"
+  "CMakeFiles/table1_found_targets.dir/table1_found_targets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_found_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_top_providers.cpp" "bench-build/CMakeFiles/table2_top_providers.dir/table2_top_providers.cpp.o" "gcc" "bench-build/CMakeFiles/table2_top_providers.dir/table2_top_providers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench-build/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/scanner/CMakeFiles/scanner.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/analysis/CMakeFiles/analysis.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/internet/CMakeFiles/internet.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dns/CMakeFiles/dns.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/http/CMakeFiles/http.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/quic/CMakeFiles/quic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tls/CMakeFiles/tls.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

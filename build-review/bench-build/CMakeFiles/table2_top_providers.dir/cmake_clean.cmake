@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_top_providers"
+  "../bench/table2_top_providers.pdb"
+  "CMakeFiles/table2_top_providers.dir/table2_top_providers.cpp.o"
+  "CMakeFiles/table2_top_providers.dir/table2_top_providers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_top_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_stateful"
+  "../bench/table3_stateful.pdb"
+  "CMakeFiles/table3_stateful.dir/table3_stateful.cpp.o"
+  "CMakeFiles/table3_stateful.dir/table3_stateful.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_stateful.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

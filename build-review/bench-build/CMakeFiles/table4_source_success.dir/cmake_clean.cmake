@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_source_success"
+  "../bench/table4_source_success.pdb"
+  "CMakeFiles/table4_source_success.dir/table4_source_success.cpp.o"
+  "CMakeFiles/table4_source_success.dir/table4_source_success.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_source_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_tls_compare"
+  "../bench/table5_tls_compare.pdb"
+  "CMakeFiles/table5_tls_compare.dir/table5_tls_compare.cpp.o"
+  "CMakeFiles/table5_tls_compare.dir/table5_tls_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_tls_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

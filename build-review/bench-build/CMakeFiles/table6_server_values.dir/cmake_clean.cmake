@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_server_values"
+  "../bench/table6_server_values.pdb"
+  "CMakeFiles/table6_server_values.dir/table6_server_values.cpp.o"
+  "CMakeFiles/table6_server_values.dir/table6_server_values.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_server_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

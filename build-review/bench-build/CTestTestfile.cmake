@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_micro_codec "/root/repo/build-review/bench/micro_codec")
+set_tests_properties(bench_micro_codec PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_micro_scanner "/root/repo/build-review/bench/micro_scanner")
+set_tests_properties(bench_micro_scanner PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_micro_telemetry "/root/repo/build-review/bench/micro_telemetry")
+set_tests_properties(bench_micro_telemetry PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_micro_engine "/root/repo/build-review/bench/micro_engine")
+set_tests_properties(bench_micro_engine PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_micro_hotpath "/root/repo/build-review/bench/micro_hotpath")
+set_tests_properties(bench_micro_hotpath PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_micro_chaos "/root/repo/build-review/bench/micro_chaos")
+set_tests_properties(bench_micro_chaos PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_micro_report "/root/repo/build-review/bench/micro_report")
+set_tests_properties(bench_micro_report PROPERTIES  LABELS "bench" TIMEOUT "1800" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;61;add_test;/root/repo/bench/CMakeLists.txt;0;")

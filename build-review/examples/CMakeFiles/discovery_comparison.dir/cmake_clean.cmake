@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_comparison.dir/discovery_comparison.cpp.o"
+  "CMakeFiles/discovery_comparison.dir/discovery_comparison.cpp.o.d"
+  "discovery_comparison"
+  "discovery_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

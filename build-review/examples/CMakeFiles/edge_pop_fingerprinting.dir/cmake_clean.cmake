@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_pop_fingerprinting.dir/edge_pop_fingerprinting.cpp.o"
+  "CMakeFiles/edge_pop_fingerprinting.dir/edge_pop_fingerprinting.cpp.o.d"
+  "edge_pop_fingerprinting"
+  "edge_pop_fingerprinting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_pop_fingerprinting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

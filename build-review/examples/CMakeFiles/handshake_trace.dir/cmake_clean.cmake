@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handshake_trace.dir/handshake_trace.cpp.o"
+  "CMakeFiles/handshake_trace.dir/handshake_trace.cpp.o.d"
+  "handshake_trace"
+  "handshake_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handshake_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

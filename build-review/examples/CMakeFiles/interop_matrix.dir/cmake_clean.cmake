@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interop_matrix.dir/interop_matrix.cpp.o"
+  "CMakeFiles/interop_matrix.dir/interop_matrix.cpp.o.d"
+  "interop_matrix"
+  "interop_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interop_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weekly_tracking.dir/weekly_tracking.cpp.o"
+  "CMakeFiles/weekly_tracking.dir/weekly_tracking.cpp.o.d"
+  "weekly_tracking"
+  "weekly_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weekly_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("telemetry")
+subdirs("wire")
+subdirs("crypto")
+subdirs("netsim")
+subdirs("tls")
+subdirs("quic")
+subdirs("http")
+subdirs("dns")
+subdirs("internet")
+subdirs("scanner")
+subdirs("engine")
+subdirs("analysis")
+subdirs("report")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/stats.cpp.o"
+  "CMakeFiles/analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/analysis.dir/table.cpp.o"
+  "CMakeFiles/analysis.dir/table.cpp.o.d"
+  "libanalysis.a"
+  "libanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/aesni.cpp" "src/crypto/CMakeFiles/crypto.dir/aesni.cpp.o" "gcc" "src/crypto/CMakeFiles/crypto.dir/aesni.cpp.o.d"
+  "/root/repo/src/crypto/cpu.cpp" "src/crypto/CMakeFiles/crypto.dir/cpu.cpp.o" "gcc" "src/crypto/CMakeFiles/crypto.dir/cpu.cpp.o.d"
+  "/root/repo/src/crypto/dh.cpp" "src/crypto/CMakeFiles/crypto.dir/dh.cpp.o" "gcc" "src/crypto/CMakeFiles/crypto.dir/dh.cpp.o.d"
+  "/root/repo/src/crypto/rng.cpp" "src/crypto/CMakeFiles/crypto.dir/rng.cpp.o" "gcc" "src/crypto/CMakeFiles/crypto.dir/rng.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto.dir/aes.cpp.o"
+  "CMakeFiles/crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/crypto.dir/aesni.cpp.o"
+  "CMakeFiles/crypto.dir/aesni.cpp.o.d"
+  "CMakeFiles/crypto.dir/cpu.cpp.o"
+  "CMakeFiles/crypto.dir/cpu.cpp.o.d"
+  "CMakeFiles/crypto.dir/dh.cpp.o"
+  "CMakeFiles/crypto.dir/dh.cpp.o.d"
+  "CMakeFiles/crypto.dir/rng.cpp.o"
+  "CMakeFiles/crypto.dir/rng.cpp.o.d"
+  "CMakeFiles/crypto.dir/sha256.cpp.o"
+  "CMakeFiles/crypto.dir/sha256.cpp.o.d"
+  "libcrypto.a"
+  "libcrypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

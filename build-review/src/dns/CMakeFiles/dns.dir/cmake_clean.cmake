@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns.dir/resolver.cpp.o"
+  "CMakeFiles/dns.dir/resolver.cpp.o.d"
+  "CMakeFiles/dns.dir/types.cpp.o"
+  "CMakeFiles/dns.dir/types.cpp.o.d"
+  "CMakeFiles/dns.dir/wire.cpp.o"
+  "CMakeFiles/dns.dir/wire.cpp.o.d"
+  "libdns.a"
+  "libdns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/alpn.cpp" "src/http/CMakeFiles/http.dir/alpn.cpp.o" "gcc" "src/http/CMakeFiles/http.dir/alpn.cpp.o.d"
+  "/root/repo/src/http/alt_svc.cpp" "src/http/CMakeFiles/http.dir/alt_svc.cpp.o" "gcc" "src/http/CMakeFiles/http.dir/alt_svc.cpp.o.d"
+  "/root/repo/src/http/h3.cpp" "src/http/CMakeFiles/http.dir/h3.cpp.o" "gcc" "src/http/CMakeFiles/http.dir/h3.cpp.o.d"
+  "/root/repo/src/http/headers.cpp" "src/http/CMakeFiles/http.dir/headers.cpp.o" "gcc" "src/http/CMakeFiles/http.dir/headers.cpp.o.d"
+  "/root/repo/src/http/message.cpp" "src/http/CMakeFiles/http.dir/message.cpp.o" "gcc" "src/http/CMakeFiles/http.dir/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/quic/CMakeFiles/quic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tls/CMakeFiles/tls.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http.dir/alpn.cpp.o"
+  "CMakeFiles/http.dir/alpn.cpp.o.d"
+  "CMakeFiles/http.dir/alt_svc.cpp.o"
+  "CMakeFiles/http.dir/alt_svc.cpp.o.d"
+  "CMakeFiles/http.dir/h3.cpp.o"
+  "CMakeFiles/http.dir/h3.cpp.o.d"
+  "CMakeFiles/http.dir/headers.cpp.o"
+  "CMakeFiles/http.dir/headers.cpp.o.d"
+  "CMakeFiles/http.dir/message.cpp.o"
+  "CMakeFiles/http.dir/message.cpp.o.d"
+  "libhttp.a"
+  "libhttp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for http.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet.dir/as_registry.cpp.o"
+  "CMakeFiles/internet.dir/as_registry.cpp.o.d"
+  "CMakeFiles/internet.dir/host.cpp.o"
+  "CMakeFiles/internet.dir/host.cpp.o.d"
+  "CMakeFiles/internet.dir/internet.cpp.o"
+  "CMakeFiles/internet.dir/internet.cpp.o.d"
+  "CMakeFiles/internet.dir/population.cpp.o"
+  "CMakeFiles/internet.dir/population.cpp.o.d"
+  "CMakeFiles/internet.dir/tp_catalog.cpp.o"
+  "CMakeFiles/internet.dir/tp_catalog.cpp.o.d"
+  "libinternet.a"
+  "libinternet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/address.cpp" "src/netsim/CMakeFiles/netsim.dir/address.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/address.cpp.o.d"
+  "/root/repo/src/netsim/event_loop.cpp" "src/netsim/CMakeFiles/netsim.dir/event_loop.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/netsim/impairment.cpp" "src/netsim/CMakeFiles/netsim.dir/impairment.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/impairment.cpp.o.d"
+  "/root/repo/src/netsim/network.cpp" "src/netsim/CMakeFiles/netsim.dir/network.cpp.o" "gcc" "src/netsim/CMakeFiles/netsim.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netsim.dir/address.cpp.o"
+  "CMakeFiles/netsim.dir/address.cpp.o.d"
+  "CMakeFiles/netsim.dir/event_loop.cpp.o"
+  "CMakeFiles/netsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/netsim.dir/impairment.cpp.o"
+  "CMakeFiles/netsim.dir/impairment.cpp.o.d"
+  "CMakeFiles/netsim.dir/network.cpp.o"
+  "CMakeFiles/netsim.dir/network.cpp.o.d"
+  "libnetsim.a"
+  "libnetsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quic/ack_tracker.cpp" "src/quic/CMakeFiles/quic.dir/ack_tracker.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/ack_tracker.cpp.o.d"
+  "/root/repo/src/quic/assembler.cpp" "src/quic/CMakeFiles/quic.dir/assembler.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/assembler.cpp.o.d"
+  "/root/repo/src/quic/connection.cpp" "src/quic/CMakeFiles/quic.dir/connection.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/connection.cpp.o.d"
+  "/root/repo/src/quic/flow_control.cpp" "src/quic/CMakeFiles/quic.dir/flow_control.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/flow_control.cpp.o.d"
+  "/root/repo/src/quic/frame.cpp" "src/quic/CMakeFiles/quic.dir/frame.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/frame.cpp.o.d"
+  "/root/repo/src/quic/packet.cpp" "src/quic/CMakeFiles/quic.dir/packet.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/packet.cpp.o.d"
+  "/root/repo/src/quic/recovery.cpp" "src/quic/CMakeFiles/quic.dir/recovery.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/recovery.cpp.o.d"
+  "/root/repo/src/quic/transport_params.cpp" "src/quic/CMakeFiles/quic.dir/transport_params.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/transport_params.cpp.o.d"
+  "/root/repo/src/quic/version.cpp" "src/quic/CMakeFiles/quic.dir/version.cpp.o" "gcc" "src/quic/CMakeFiles/quic.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tls/CMakeFiles/tls.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quic.dir/ack_tracker.cpp.o"
+  "CMakeFiles/quic.dir/ack_tracker.cpp.o.d"
+  "CMakeFiles/quic.dir/assembler.cpp.o"
+  "CMakeFiles/quic.dir/assembler.cpp.o.d"
+  "CMakeFiles/quic.dir/connection.cpp.o"
+  "CMakeFiles/quic.dir/connection.cpp.o.d"
+  "CMakeFiles/quic.dir/flow_control.cpp.o"
+  "CMakeFiles/quic.dir/flow_control.cpp.o.d"
+  "CMakeFiles/quic.dir/frame.cpp.o"
+  "CMakeFiles/quic.dir/frame.cpp.o.d"
+  "CMakeFiles/quic.dir/packet.cpp.o"
+  "CMakeFiles/quic.dir/packet.cpp.o.d"
+  "CMakeFiles/quic.dir/recovery.cpp.o"
+  "CMakeFiles/quic.dir/recovery.cpp.o.d"
+  "CMakeFiles/quic.dir/transport_params.cpp.o"
+  "CMakeFiles/quic.dir/transport_params.cpp.o.d"
+  "CMakeFiles/quic.dir/version.cpp.o"
+  "CMakeFiles/quic.dir/version.cpp.o.d"
+  "libquic.a"
+  "libquic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report.dir/csv.cpp.o"
+  "CMakeFiles/report.dir/csv.cpp.o.d"
+  "CMakeFiles/report.dir/fingerprint.cpp.o"
+  "CMakeFiles/report.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/report.dir/json.cpp.o"
+  "CMakeFiles/report.dir/json.cpp.o.d"
+  "CMakeFiles/report.dir/report.cpp.o"
+  "CMakeFiles/report.dir/report.cpp.o.d"
+  "libreport.a"
+  "libreport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/dns_scan.cpp" "src/scanner/CMakeFiles/scanner.dir/dns_scan.cpp.o" "gcc" "src/scanner/CMakeFiles/scanner.dir/dns_scan.cpp.o.d"
+  "/root/repo/src/scanner/ethics.cpp" "src/scanner/CMakeFiles/scanner.dir/ethics.cpp.o" "gcc" "src/scanner/CMakeFiles/scanner.dir/ethics.cpp.o.d"
+  "/root/repo/src/scanner/qscanner.cpp" "src/scanner/CMakeFiles/scanner.dir/qscanner.cpp.o" "gcc" "src/scanner/CMakeFiles/scanner.dir/qscanner.cpp.o.d"
+  "/root/repo/src/scanner/resilience.cpp" "src/scanner/CMakeFiles/scanner.dir/resilience.cpp.o" "gcc" "src/scanner/CMakeFiles/scanner.dir/resilience.cpp.o.d"
+  "/root/repo/src/scanner/tcp_tls.cpp" "src/scanner/CMakeFiles/scanner.dir/tcp_tls.cpp.o" "gcc" "src/scanner/CMakeFiles/scanner.dir/tcp_tls.cpp.o.d"
+  "/root/repo/src/scanner/zmap.cpp" "src/scanner/CMakeFiles/scanner.dir/zmap.cpp.o" "gcc" "src/scanner/CMakeFiles/scanner.dir/zmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/quic/CMakeFiles/quic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tls/CMakeFiles/tls.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/http/CMakeFiles/http.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/dns/CMakeFiles/dns.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/netsim/CMakeFiles/netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner.dir/dns_scan.cpp.o"
+  "CMakeFiles/scanner.dir/dns_scan.cpp.o.d"
+  "CMakeFiles/scanner.dir/ethics.cpp.o"
+  "CMakeFiles/scanner.dir/ethics.cpp.o.d"
+  "CMakeFiles/scanner.dir/qscanner.cpp.o"
+  "CMakeFiles/scanner.dir/qscanner.cpp.o.d"
+  "CMakeFiles/scanner.dir/resilience.cpp.o"
+  "CMakeFiles/scanner.dir/resilience.cpp.o.d"
+  "CMakeFiles/scanner.dir/tcp_tls.cpp.o"
+  "CMakeFiles/scanner.dir/tcp_tls.cpp.o.d"
+  "CMakeFiles/scanner.dir/zmap.cpp.o"
+  "CMakeFiles/scanner.dir/zmap.cpp.o.d"
+  "libscanner.a"
+  "libscanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

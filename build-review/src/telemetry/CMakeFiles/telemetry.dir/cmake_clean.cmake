@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry.dir/metrics.cpp.o"
+  "CMakeFiles/telemetry.dir/metrics.cpp.o.d"
+  "CMakeFiles/telemetry.dir/scheduler.cpp.o"
+  "CMakeFiles/telemetry.dir/scheduler.cpp.o.d"
+  "CMakeFiles/telemetry.dir/trace.cpp.o"
+  "CMakeFiles/telemetry.dir/trace.cpp.o.d"
+  "libtelemetry.a"
+  "libtelemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tls/certificate.cpp" "src/tls/CMakeFiles/tls.dir/certificate.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/certificate.cpp.o.d"
+  "/root/repo/src/tls/endpoint.cpp" "src/tls/CMakeFiles/tls.dir/endpoint.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/endpoint.cpp.o.d"
+  "/root/repo/src/tls/extensions.cpp" "src/tls/CMakeFiles/tls.dir/extensions.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/extensions.cpp.o.d"
+  "/root/repo/src/tls/handshake.cpp" "src/tls/CMakeFiles/tls.dir/handshake.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/handshake.cpp.o.d"
+  "/root/repo/src/tls/key_schedule.cpp" "src/tls/CMakeFiles/tls.dir/key_schedule.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/key_schedule.cpp.o.d"
+  "/root/repo/src/tls/record.cpp" "src/tls/CMakeFiles/tls.dir/record.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/record.cpp.o.d"
+  "/root/repo/src/tls/types.cpp" "src/tls/CMakeFiles/tls.dir/types.cpp.o" "gcc" "src/tls/CMakeFiles/tls.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/wire/CMakeFiles/wire.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/crypto/CMakeFiles/crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

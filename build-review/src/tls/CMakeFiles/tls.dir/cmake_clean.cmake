@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls.dir/certificate.cpp.o"
+  "CMakeFiles/tls.dir/certificate.cpp.o.d"
+  "CMakeFiles/tls.dir/endpoint.cpp.o"
+  "CMakeFiles/tls.dir/endpoint.cpp.o.d"
+  "CMakeFiles/tls.dir/extensions.cpp.o"
+  "CMakeFiles/tls.dir/extensions.cpp.o.d"
+  "CMakeFiles/tls.dir/handshake.cpp.o"
+  "CMakeFiles/tls.dir/handshake.cpp.o.d"
+  "CMakeFiles/tls.dir/key_schedule.cpp.o"
+  "CMakeFiles/tls.dir/key_schedule.cpp.o.d"
+  "CMakeFiles/tls.dir/record.cpp.o"
+  "CMakeFiles/tls.dir/record.cpp.o.d"
+  "CMakeFiles/tls.dir/types.cpp.o"
+  "CMakeFiles/tls.dir/types.cpp.o.d"
+  "libtls.a"
+  "libtls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire.dir/buffer.cpp.o"
+  "CMakeFiles/wire.dir/buffer.cpp.o.d"
+  "libwire.a"
+  "libwire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_soak.dir/test_engine_soak.cpp.o"
+  "CMakeFiles/test_engine_soak.dir/test_engine_soak.cpp.o.d"
+  "test_engine_soak"
+  "test_engine_soak.pdb"
+  "test_engine_soak[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

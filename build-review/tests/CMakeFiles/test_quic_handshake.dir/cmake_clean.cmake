@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_handshake.dir/test_quic_handshake.cpp.o"
+  "CMakeFiles/test_quic_handshake.dir/test_quic_handshake.cpp.o.d"
+  "test_quic_handshake"
+  "test_quic_handshake.pdb"
+  "test_quic_handshake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_handshake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quic_wire.dir/test_quic_wire.cpp.o"
+  "CMakeFiles/test_quic_wire.dir/test_quic_wire.cpp.o.d"
+  "test_quic_wire"
+  "test_quic_wire.pdb"
+  "test_quic_wire[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quic_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scanner.dir/test_scanner.cpp.o"
+  "CMakeFiles/test_scanner.dir/test_scanner.cpp.o.d"
+  "test_scanner"
+  "test_scanner.pdb"
+  "test_scanner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

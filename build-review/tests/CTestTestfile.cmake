@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_wire[1]_include.cmake")
+include("/root/repo/build-review/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build-review/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_quic_wire[1]_include.cmake")
+include("/root/repo/build-review/tests/test_quic_handshake[1]_include.cmake")
+include("/root/repo/build-review/tests/test_tls[1]_include.cmake")
+include("/root/repo/build-review/tests/test_http[1]_include.cmake")
+include("/root/repo/build-review/tests/test_dns[1]_include.cmake")
+include("/root/repo/build-review/tests/test_internet[1]_include.cmake")
+include("/root/repo/build-review/tests/test_scanner[1]_include.cmake")
+include("/root/repo/build-review/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-review/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build-review/tests/test_transport[1]_include.cmake")
+include("/root/repo/build-review/tests/test_bench_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build-review/tests/test_telemetry[1]_include.cmake")
+include("/root/repo/build-review/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build-review/tests/test_engine_differential[1]_include.cmake")
+include("/root/repo/build-review/tests/test_report[1]_include.cmake")
+include("/root/repo/build-review/tests/test_engine_soak[1]_include.cmake")
+include("/root/repo/build-review/tests/test_chaos[1]_include.cmake")

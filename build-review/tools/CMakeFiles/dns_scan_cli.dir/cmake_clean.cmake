@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_scan_cli.dir/dns_scan_cli.cpp.o"
+  "CMakeFiles/dns_scan_cli.dir/dns_scan_cli.cpp.o.d"
+  "dns_scan_cli"
+  "dns_scan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_scan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

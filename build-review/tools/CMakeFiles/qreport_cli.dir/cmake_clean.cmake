@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qreport_cli.dir/qreport_cli.cpp.o"
+  "CMakeFiles/qreport_cli.dir/qreport_cli.cpp.o.d"
+  "qreport_cli"
+  "qreport_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qreport_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

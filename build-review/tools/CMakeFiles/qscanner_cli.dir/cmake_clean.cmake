@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qscanner_cli.dir/qscanner_cli.cpp.o"
+  "CMakeFiles/qscanner_cli.dir/qscanner_cli.cpp.o.d"
+  "qscanner_cli"
+  "qscanner_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qscanner_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

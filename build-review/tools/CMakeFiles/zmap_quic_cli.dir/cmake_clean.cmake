@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zmap_quic_cli.dir/zmap_quic_cli.cpp.o"
+  "CMakeFiles/zmap_quic_cli.dir/zmap_quic_cli.cpp.o.d"
+  "zmap_quic_cli"
+  "zmap_quic_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zmap_quic_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
