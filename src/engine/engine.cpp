@@ -121,6 +121,16 @@ Campaign::Campaign(CampaignOptions options) : options_(std::move(options)) {
       !netsim::find_impairment_profile(options_.impairment))
     throw std::invalid_argument("Campaign: unknown impairment profile '" +
                                 options_.impairment + "'");
+  if (options_.adversary.empty()) {
+    // Same CI-sweep contract as QREPRO_SCHEDULE: the env knob fills in
+    // an unset option; an explicit setting always wins.
+    const char* env = std::getenv("QREPRO_ADVERSARY");
+    if (env) options_.adversary = env;
+  }
+  if (!options_.adversary.empty() &&
+      !internet::find_adversary_profile(options_.adversary))
+    throw std::invalid_argument("Campaign: unknown adversary profile '" +
+                                options_.adversary + "'");
 }
 
 size_t Campaign::resolved_chunk_size(size_t target_count) const {
@@ -163,6 +173,14 @@ void Campaign::run_slice(int slice, const ShardBody& body) {
     // position.
     internet.apply_impairment(
         *netsim::find_impairment_profile(options_.impairment));
+  }
+  if (!options_.adversary.empty()) {
+    // Endpoint misbehavior layers on after the fabric: plans key on
+    // (population seed, host address) only, so every slice derives the
+    // identical overlay. Serial baselines in the differential tests
+    // must apply at this same position.
+    internet.apply_adversary(
+        *internet::find_adversary_profile(options_.adversary));
   }
 
   std::optional<telemetry::QlogDir> qlog;

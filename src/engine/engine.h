@@ -192,6 +192,18 @@ struct CampaignOptions {
   /// keyed per (seed, link, datagram), the merged campaign output stays
   /// a pure function of (seed, jobs, impairment).
   std::string impairment;
+  /// Named misbehaving-endpoint profile ("compliant", "sloppy",
+  /// "broken", "malicious") overlaid onto every server host of each
+  /// slice's private internet, right after the impairment overlay.
+  /// Empty or "compliant" leaves the endpoints untouched; unknown names
+  /// throw std::invalid_argument from the Campaign constructor. Unset
+  /// (empty) falls back to the QREPRO_ADVERSARY environment variable,
+  /// the CI knob verify_all.sh uses to sweep sanitizer lanes through a
+  /// hostile endpoint fabric. Per-host plans are stateless hashes of
+  /// (population seed, host address) -- see internet/adversary.h -- so
+  /// the merged output stays a pure function of
+  /// (seed, chunk_size, impairment, adversary).
+  std::string adversary;
 };
 
 /// Runs one campaign body per slice and owns the deterministic merge.

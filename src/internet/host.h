@@ -41,6 +41,13 @@ class ServerHost : public netsim::UdpService, public netsim::TcpService {
   /// coalesced flight.
   void set_max_crypto_chunk(size_t bytes) { behavior_.max_crypto_chunk = bytes; }
 
+  /// Installs this host's misbehavior plan (see internet/adversary.h).
+  /// Called by Internet::apply_adversary; every QUIC session the host
+  /// accepts afterwards misbehaves per the plan.
+  void set_adversary(const quic::AdversaryPlan& plan) {
+    behavior_.adversary = plan;
+  }
+
   /// Certificate selection shared by both stacks. `tcp_path` switches
   /// on the TCP-only behaviors (self-signed no-SNI placeholder,
   /// rotation skew).

@@ -138,4 +138,11 @@ void Internet::apply_impairment(const netsim::ImpairmentProfile& profile) {
   }
 }
 
+void Internet::apply_adversary(const AdversaryProfile& profile) {
+  if (profile.is_compliant()) return;  // exact no-op: behaviors untouched
+  AdversaryModel model(profile, snapshot_->params().seed ^ 0xad7e);
+  for (auto& host : server_hosts_)
+    host->set_adversary(model.plan_for(host->profile().address));
+}
+
 }  // namespace internet

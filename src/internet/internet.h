@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dns/resolver.h"
+#include "internet/adversary.h"
 #include "internet/host.h"
 #include "internet/population.h"
 #include "netsim/impairment.h"
@@ -82,6 +83,13 @@ class Internet {
   /// flights. A clean profile is an exact no-op, so `--impair clean`
   /// is byte-identical to no flag.
   void apply_impairment(const netsim::ImpairmentProfile& profile);
+
+  /// Overlays `profile` onto every registered host as a deterministic
+  /// per-host AdversaryPlan (stateless hash of the population seed and
+  /// the host address -- see internet/adversary.h). The `compliant`
+  /// profile is an exact no-op, so `--adversary compliant` is
+  /// byte-identical to no flag.
+  void apply_adversary(const AdversaryProfile& profile);
 
  private:
   void register_hosts();

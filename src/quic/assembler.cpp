@@ -1,18 +1,39 @@
 #include "quic/assembler.h"
 
+#include <algorithm>
+
 namespace quic {
 
 bool CryptoAssembler::offer(uint64_t offset, std::span<const uint8_t> data) {
   if (data.empty()) return false;
   const uint64_t end = offset + data.size();
+  // Any overlap with the contiguous prefix must agree byte for byte; a
+  // peer retransmitting different bytes for the same offset is a
+  // protocol violation the caller checks via conflict().
+  if (offset < assembled_.size()) {
+    const size_t overlap =
+        std::min<uint64_t>(end, assembled_.size()) - offset;
+    if (!std::equal(data.begin(),
+                    data.begin() + static_cast<ptrdiff_t>(overlap),
+                    assembled_.begin() + static_cast<ptrdiff_t>(offset)))
+      conflict_ = true;
+  }
   if (end <= assembled_.size()) return false;  // fully duplicate
   if (offset > assembled_.size()) {
     // Past the contiguous prefix: stash until the gap closes. On a
-    // duplicate offset keep the longer chunk.
+    // duplicate offset keep the longer chunk, flagging any mismatch in
+    // the shared prefix.
     auto [it, inserted] =
         pending_.emplace(offset, std::vector<uint8_t>(data.begin(), data.end()));
-    if (!inserted && it->second.size() < data.size())
-      it->second.assign(data.begin(), data.end());
+    if (!inserted) {
+      const size_t common = std::min(it->second.size(), data.size());
+      if (!std::equal(data.begin(),
+                      data.begin() + static_cast<ptrdiff_t>(common),
+                      it->second.begin()))
+        conflict_ = true;
+      if (it->second.size() < data.size())
+        it->second.assign(data.begin(), data.end());
+    }
     return false;
   }
   // Overlaps or extends the contiguous prefix: append the new tail.
@@ -30,6 +51,12 @@ void CryptoAssembler::drain_pending() {
     if (it->first > assembled_.size()) break;  // ordered map: still a gap
     const auto& chunk = it->second;
     const uint64_t chunk_end = it->first + chunk.size();
+    const size_t overlap =
+        std::min<uint64_t>(chunk_end, assembled_.size()) - it->first;
+    if (!std::equal(chunk.begin(),
+                    chunk.begin() + static_cast<ptrdiff_t>(overlap),
+                    assembled_.begin() + static_cast<ptrdiff_t>(it->first)))
+      conflict_ = true;
     if (chunk_end > assembled_.size())
       assembled_.insert(
           assembled_.end(),
@@ -49,6 +76,7 @@ size_t CryptoAssembler::pending_bytes() const {
 void CryptoAssembler::clear() {
   assembled_.clear();
   pending_.clear();
+  conflict_ = false;
 }
 
 }  // namespace quic

@@ -25,6 +25,13 @@ class CryptoAssembler {
   const std::vector<uint8_t>& assembled() const { return assembled_; }
   size_t pending_chunks() const { return pending_.size(); }
   size_t pending_bytes() const;
+
+  /// True once two offers disagreed about the same stream byte. RFC
+  /// 9000 section 2.2 makes conflicting retransmissions a connection
+  /// error; an endpoint sending them is lying about its own stream, so
+  /// the client kills the attempt instead of guessing which copy wins.
+  bool conflict() const { return conflict_; }
+
   void clear();
 
  private:
@@ -32,6 +39,7 @@ class CryptoAssembler {
 
   std::vector<uint8_t> assembled_;
   std::map<uint64_t, std::vector<uint8_t>> pending_;  // offset -> data
+  bool conflict_ = false;
 };
 
 }  // namespace quic

@@ -91,6 +91,34 @@ void trace_frames(const telemetry::Tracer& tracer, const char* level,
                 {{"level", level}, {"frame_type", frame_name(frame)}});
 }
 
+/// Stateless generator for adversary mutation bytes. Seeded from the
+/// per-host AdversaryPlan only -- never from per-connection randomness,
+/// which differs across shard partitions -- so mutated bytes are a pure
+/// function of (adversary seed, host).
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// ACK sanity (RFC 9000 section 19.3): every acknowledged packet number
+/// must have been sent (`largest < next_pn`) and the ranges must not
+/// wrap below zero.
+bool ack_frame_valid(const AckFrame& ack, uint64_t next_pn) {
+  if (ack.largest_acknowledged >= next_pn) return false;
+  if (ack.first_ack_range > ack.largest_acknowledged) return false;
+  uint64_t smallest = ack.largest_acknowledged - ack.first_ack_range;
+  for (const auto& range : ack.ranges) {
+    if (smallest < range.gap + 2) return false;
+    uint64_t next_largest = smallest - range.gap - 2;
+    if (range.length > next_largest) return false;
+    smallest = next_largest - range.length;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string to_string(ConnectResult result) {
@@ -101,6 +129,24 @@ std::string to_string(ConnectResult result) {
     case ConnectResult::kCryptoError: return "crypto-error";
     case ConnectResult::kTransportError: return "transport-error";
     case ConnectResult::kInternalError: return "internal-error";
+    case ConnectResult::kProtocolViolation: return "protocol-violation";
+  }
+  return "?";
+}
+
+std::string to_string(ProtocolError error) {
+  switch (error) {
+    case ProtocolError::kNone: return "none";
+    case ProtocolError::kTpMalformed: return "tp_malformed";
+    case ProtocolError::kTpDuplicate: return "tp_duplicate";
+    case ProtocolError::kFrameUnknown: return "frame_unknown";
+    case ProtocolError::kFrameEncoding: return "frame_encoding";
+    case ProtocolError::kFrameIllegal: return "frame_illegal";
+    case ProtocolError::kAckInvalid: return "ack_invalid";
+    case ProtocolError::kCryptoInconsistent: return "crypto_inconsistent";
+    case ProtocolError::kTlsDecode: return "tls_decode";
+    case ProtocolError::kVnLoop: return "vn_loop";
+    case ProtocolError::kCount: break;
   }
   return "?";
 }
@@ -236,11 +282,46 @@ void ClientConnection::finish(ConnectResult result) {
   report_.result = result;
   report_.negotiated_version = config_.version;
   if (config_.tracer.active())
-    config_.tracer.emit(telemetry::EventType::kConnectionClosed,
-                        {{"result", to_string(result)},
-                         {"error_code", report_.close_error_code},
-                         {"reason", report_.close_reason}});
+    config_.tracer.emit(
+        telemetry::EventType::kConnectionClosed,
+        {{"result", to_string(result)},
+         {"error_code", report_.close_error_code},
+         {"reason", report_.close_reason},
+         {"protocol_error", to_string(report_.protocol_error)}});
   if (done_) done_(report_);
+}
+
+void ClientConnection::fail_protocol(ProtocolError error,
+                                     const std::string& reason) {
+  report_.protocol_error = error;
+  if (report_.close_reason.empty()) report_.close_reason = reason;
+  if (config_.tracer.active())
+    config_.tracer.emit(telemetry::EventType::kProtocolError,
+                        {{"cause", to_string(error)}, {"reason", reason}});
+  finish(ConnectResult::kProtocolViolation);
+}
+
+bool ClientConnection::check_frames(const std::vector<Frame>& frames,
+                                    PacketType space, uint64_t next_pn) {
+  const bool handshake_space =
+      space == PacketType::kInitial || space == PacketType::kHandshake;
+  for (const auto& frame : frames) {
+    if (handshake_space && (std::holds_alternative<StreamFrame>(frame) ||
+                            std::holds_alternative<HandshakeDoneFrame>(frame))) {
+      fail_protocol(ProtocolError::kFrameIllegal,
+                    std::string(frame_name(frame)) + " frame in " +
+                        packet_type_name(space) + " packet");
+      return false;
+    }
+    if (const auto* ack = std::get_if<AckFrame>(&frame)) {
+      if (!ack_frame_valid(*ack, next_pn)) {
+        fail_protocol(ProtocolError::kAckInvalid,
+                      "ACK for unsent packets or inverted range");
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 void ClientConnection::process_version_negotiation(
@@ -264,6 +345,15 @@ void ClientConnection::process_version_negotiation(
         return;
       }
     }
+  } else if (std::find(vn.supported_versions.begin(),
+                       vn.supported_versions.end(),
+                       config_.version) != vn.supported_versions.end()) {
+    // We already retried with a version this server advertised, and it
+    // rejected that too while still advertising it: a self-contradictory
+    // VN loop. Without the retry cap this would ping-pong forever.
+    fail_protocol(ProtocolError::kVnLoop,
+                  "VN advertises the version it just rejected");
+    return;
   }
   finish(ConnectResult::kVersionMismatch);
 }
@@ -356,8 +446,14 @@ bool ClientConnection::process_initial(const Packet& packet) {
   std::vector<Frame> frames;
   try {
     frames = decode_frames(packet.payload);
-  } catch (const wire::DecodeError&) {
-    finish(ConnectResult::kInternalError);
+  } catch (const FrameDecodeError& e) {
+    fail_protocol(e.kind == FrameDecodeError::Kind::kUnknownType
+                      ? ProtocolError::kFrameUnknown
+                      : ProtocolError::kFrameEncoding,
+                  e.what());
+    return false;
+  } catch (const wire::DecodeError& e) {
+    fail_protocol(ProtocolError::kFrameEncoding, e.what());
     return false;
   }
   trace_frames(config_.tracer, "initial", frames);
@@ -368,6 +464,7 @@ bool ClientConnection::process_initial(const Packet& packet) {
                                               : ConnectResult::kTransportError);
     return false;
   }
+  if (!check_frames(frames, PacketType::kInitial, pn_initial_)) return false;
   const auto* crypto_frame = find_crypto(frames);
   if (!crypto_frame) return true;  // bare ACK
   if (state_ != State::kAwaitServerHello) return true;
@@ -376,15 +473,17 @@ bool ClientConnection::process_initial(const Packet& packet) {
   try {
     wire::Reader r(crypto_frame->data);
     msg = tls::decode_handshake(r);
-  } catch (const wire::DecodeError&) {
-    finish(ConnectResult::kInternalError);
+  } catch (const wire::DecodeError& e) {
+    fail_protocol(ProtocolError::kTlsDecode, e.what());
     return false;
   }
   const auto* sh = std::get_if<tls::ServerHello>(&msg);
   if (!sh) {
-    finish(ConnectResult::kInternalError);
+    fail_protocol(ProtocolError::kTlsDecode,
+                  "expected ServerHello in Initial CRYPTO");
     return false;
   }
+  report_.server_hello_seen = true;
   if (config_.tracer.active())
     config_.tracer.emit(
         telemetry::EventType::kTlsMessage,
@@ -423,8 +522,14 @@ bool ClientConnection::process_handshake(const Packet& packet) {
   std::vector<Frame> frames;
   try {
     frames = decode_frames(packet.payload);
-  } catch (const wire::DecodeError&) {
-    finish(ConnectResult::kInternalError);
+  } catch (const FrameDecodeError& e) {
+    fail_protocol(e.kind == FrameDecodeError::Kind::kUnknownType
+                      ? ProtocolError::kFrameUnknown
+                      : ProtocolError::kFrameEncoding,
+                  e.what());
+    return false;
+  } catch (const wire::DecodeError& e) {
+    fail_protocol(ProtocolError::kFrameEncoding, e.what());
     return false;
   }
   trace_frames(config_.tracer, "handshake", frames);
@@ -435,12 +540,21 @@ bool ClientConnection::process_handshake(const Packet& packet) {
                                               : ConnectResult::kTransportError);
     return false;
   }
+  if (!check_frames(frames, PacketType::kHandshake, pn_handshake_))
+    return false;
   // Feed every CRYPTO frame through the reassembler; out-of-order and
-  // duplicate chunks buffer until the contiguous prefix grows.
+  // duplicate chunks buffer until the contiguous prefix grows. Chunks
+  // that disagree about bytes they both cover are a protocol violation
+  // (the peer is lying about its own stream).
   bool grew = false;
   for (const auto& frame : frames)
     if (const auto* c = std::get_if<CryptoFrame>(&frame))
       grew |= handshake_crypto_.offer(c->offset, c->data);
+  if (handshake_crypto_.conflict()) {
+    fail_protocol(ProtocolError::kCryptoInconsistent,
+                  "conflicting CRYPTO retransmission bytes");
+    return false;
+  }
   if (!grew) return true;  // no new contiguous bytes: nothing to re-parse
 
   // Try to parse the complete EE..Finished flight.
@@ -483,8 +597,14 @@ bool ClientConnection::process_handshake(const Packet& packet) {
         try {
           report_.server_transport_params =
               decode_transport_parameters(tp->payload);
-        } catch (const wire::DecodeError&) {
-          finish(ConnectResult::kInternalError);
+        } catch (const TpDecodeError& e) {
+          fail_protocol(e.kind == TpDecodeError::Kind::kDuplicate
+                            ? ProtocolError::kTpDuplicate
+                            : ProtocolError::kTpMalformed,
+                        e.what());
+          return false;
+        } catch (const wire::DecodeError& e) {
+          fail_protocol(ProtocolError::kTpMalformed, e.what());
           return false;
         }
         if (config_.tracer.active()) {
@@ -620,8 +740,14 @@ void ClientConnection::process_one_rtt(const Packet& packet) {
   std::vector<Frame> frames;
   try {
     frames = decode_frames(packet.payload);
-  } catch (const wire::DecodeError&) {
-    finish(ConnectResult::kInternalError);
+  } catch (const FrameDecodeError& e) {
+    fail_protocol(e.kind == FrameDecodeError::Kind::kUnknownType
+                      ? ProtocolError::kFrameUnknown
+                      : ProtocolError::kFrameEncoding,
+                  e.what());
+    return;
+  } catch (const wire::DecodeError& e) {
+    fail_protocol(ProtocolError::kFrameEncoding, e.what());
     return;
   }
   trace_frames(config_.tracer, "1rtt", frames);
@@ -632,6 +758,7 @@ void ClientConnection::process_one_rtt(const Packet& packet) {
                                               : ConnectResult::kTransportError);
     return;
   }
+  if (!check_frames(frames, PacketType::kOneRtt, pn_app_)) return;
   for (const auto& frame : frames) {
     if (std::holds_alternative<HandshakeDoneFrame>(frame))
       report_.handshake_done_seen = true;
@@ -657,11 +784,19 @@ ServerConnection::ServerConnection(const DeploymentBehavior& behavior,
       tracer_(tracer) {}
 
 void ServerConnection::respond_version_negotiation(const DatagramInfo& info) {
-  if (!behavior_.respond_to_version_negotiation) return;
+  if (!behavior_.respond_to_version_negotiation &&
+      !behavior_.adversary.vn_loop)
+    return;
   VersionNegotiationPacket vn;
   vn.dcid = info.scid;  // swap roles
   vn.scid = info.dcid;
   vn.supported_versions = behavior_.advertised_versions;
+  if (behavior_.adversary.vn_loop) {
+    // The looping endpoint advertises the broad compatible set --
+    // including whatever version it just rejected -- so a retrying
+    // client is sent in circles.
+    vn.supported_versions = {kDraft29, kDraft32, kDraft34, kVersion1};
+  }
   if (tracer_.active())
     tracer_.emit(telemetry::EventType::kVersionNegotiation,
                  {{"offered", version_name(info.version)},
@@ -724,6 +859,13 @@ void ServerConnection::on_datagram(std::span<const uint8_t> datagram) {
                     info->version) != behavior_.advertised_versions.end();
       if (!advertised) respond_version_negotiation(*info);
       state_ = State::kClosed;
+      return;
+    }
+    if (behavior_.adversary.vn_loop) {
+      // Version-negotiation loop: every Initial -- whatever its version
+      // -- is answered with VN. The session closes after each VN, so a
+      // client retry creates a new session that misbehaves identically.
+      respond_version_negotiation(*info);
       return;
     }
     bool supported =
@@ -951,8 +1093,37 @@ void ServerConnection::process_client_initial(const Packet& packet) {
           ? static_cast<uint16_t>(tls::ExtensionType::kQuicTransportParameters)
           : static_cast<uint16_t>(
                 tls::ExtensionType::kQuicTransportParametersDraft);
-  ee.extensions.push_back(tls::TransportParametersExtension{
-      tp_codepoint, encode_transport_parameters(tp)});
+  const AdversaryPlan& plan = behavior_.adversary;
+  std::vector<uint8_t> tp_bytes = encode_transport_parameters(tp);
+  if (plan.tp_grease > 0 || plan.tp_duplicate || plan.tp_malformed) {
+    // Structure-aware TP mutation: GREASE params are legal (ids 31*N+27,
+    // RFC 9000 section 18.1) and a hardened client tolerates them; the
+    // duplicate and the truncated trailer are violations it must kill
+    // the attempt on. The truncation must come last -- it swallows
+    // everything after it.
+    wire::Writer mutated;
+    mutated.bytes(tp_bytes);
+    uint64_t mstate = plan.seed ^ 0x677265617365ull;
+    for (int i = 0; i < plan.tp_grease; ++i) {
+      uint64_t draw = splitmix64(mstate);
+      mutated.varint(27 + 31 * static_cast<uint64_t>(i + 1));
+      mutated.varint(2);
+      mutated.u8(static_cast<uint8_t>(draw >> 8));
+      mutated.u8(static_cast<uint8_t>(draw));
+    }
+    if (plan.tp_duplicate) {
+      // initial_source_connection_id is always present above; a second,
+      // empty copy trips the RFC 9000 section 7.4 duplicate check.
+      mutated.varint(static_cast<uint64_t>(
+          TransportParamId::kInitialSourceConnectionId));
+      mutated.varint(0);
+    }
+    if (plan.tp_malformed)
+      mutated.varint(0x01);  // id with its length varint missing
+    tp_bytes = mutated.take();
+  }
+  ee.extensions.push_back(
+      tls::TransportParametersExtension{tp_codepoint, std::move(tp_bytes)});
   if (selected_alpn)
     ee.extensions.push_back(tls::AlpnExtension{{*selected_alpn}});
   if (sni && behavior_.echo_sni)
@@ -1000,20 +1171,56 @@ void ServerConnection::process_client_initial(const Packet& packet) {
   init.scid = scid_;
   init.packet_number = pn_initial_++;
   frame_scratch_.clear();
-  const Frame init_frames[] = {AckFrame{packet.packet_number, 0, 0, {}},
-                               CryptoFrame{0, sh_bytes}};
+  // Bad-ACK mutation: acknowledge a range reaching past packet number
+  // zero (first_ack_range > largest), which no honest peer can produce.
+  const uint64_t first_ack_range =
+      plan.ack_invalid ? packet.packet_number + 5 : 0;
+  const Frame init_frames[] = {
+      AckFrame{packet.packet_number, 0, first_ack_range, {}},
+      CryptoFrame{0, sh_bytes}};
   encode_frames_into(frame_scratch_, init_frames);
+  // Frame-level mutations ride in the Initial payload: a well-formed
+  // STREAM frame (illegal in that space, RFC 9000 section 12.4) and a
+  // raw unknown frame type past everything a scanner decodes.
+  if (plan.frame_illegal_stream) {
+    StreamFrame rogue;
+    rogue.stream_id = 3;
+    rogue.data = {0xde, 0xad};
+    encode_frame(frame_scratch_, Frame{std::move(rogue)});
+  }
+  if (plan.frame_unknown) frame_scratch_.varint(0x21);
   initial_tx_->protect_into(init, frame_scratch_.span(), datagram);
   size_t initial_size = datagram.size();
+
+  if (plan.stall_after_hello) {
+    // Mid-handshake stall: the ServerHello goes out, the EE..Finished
+    // flight never follows. The client sits in kAwaitServerFinished
+    // until its deadline; the scanner classifies the attempt Stalled.
+    if (tracer_.active())
+      tracer_.emit(telemetry::EventType::kPacketSent,
+                   {{"packet_type", "initial"},
+                    {"packet_number", init.packet_number},
+                    {"size", static_cast<uint64_t>(initial_size)},
+                    {"stalled", true}});
+    state_ = State::kClosed;
+    send_(std::move(datagram));
+    return;
+  }
 
   std::vector<uint8_t> flight;
   flight.insert(flight.end(), ee_bytes.begin(), ee_bytes.end());
   flight.insert(flight.end(), cm_bytes.begin(), cm_bytes.end());
   flight.insert(flight.end(), cv_bytes.begin(), cv_bytes.end());
   flight.insert(flight.end(), fin_bytes.begin(), fin_bytes.end());
+  if (plan.crypto_truncate > 0 && flight.size() > 1) {
+    // Truncated flight: withhold the tail so the TLS flight can never
+    // complete. PTO retransmissions resend the same truncated bytes.
+    flight.resize(flight.size() -
+                  std::min(plan.crypto_truncate, flight.size() - 1));
+  }
   last_flight_.clear();
 
-  if (behavior_.max_crypto_chunk == 0) {
+  if (behavior_.max_crypto_chunk == 0 && !plan.crypto_overlap_conflict) {
     Packet hs;
     hs.type = PacketType::kHandshake;
     hs.version = version_;
@@ -1054,9 +1261,36 @@ void ServerConnection::process_client_initial(const Packet& packet) {
   state_ = State::kAwaitFinished;  // before send_: replies may nest
   last_flight_.push_back(datagram);
   send_(std::move(datagram));
+  if (plan.crypto_overlap_conflict && flight.size() > 2) {
+    // Conflicting overlap: a prefix of the flight with its last byte
+    // flipped, sent before the true bytes. Whichever order the fabric
+    // delivers them, the two copies disagree about a byte they both
+    // cover and the client's reassembler flags the conflict.
+    const size_t prefix_len = std::min<size_t>(64, flight.size() - 1);
+    CryptoFrame lie;
+    lie.offset = 0;
+    lie.data.assign(flight.begin(),
+                    flight.begin() + static_cast<ptrdiff_t>(prefix_len));
+    lie.data.back() ^= 0x01;
+    Packet hs;
+    hs.type = PacketType::kHandshake;
+    hs.version = version_;
+    hs.dcid = client_scid_;
+    hs.scid = scid_;
+    hs.packet_number = pn_handshake_++;
+    frame_scratch_.clear();
+    const Frame lie_frame = std::move(lie);
+    encode_frames_into(frame_scratch_, {&lie_frame, 1});
+    std::vector<uint8_t> lie_datagram;
+    handshake_tx_->protect_into(hs, frame_scratch_.span(), lie_datagram);
+    last_flight_.push_back(lie_datagram);
+    send_(std::move(lie_datagram));
+  }
+  const size_t chunk_limit = behavior_.max_crypto_chunk > 0
+                                 ? behavior_.max_crypto_chunk
+                                 : flight.size();
   for (size_t chunk_offset = 0; chunk_offset < flight.size();) {
-    const size_t len =
-        std::min(behavior_.max_crypto_chunk, flight.size() - chunk_offset);
+    const size_t len = std::min(chunk_limit, flight.size() - chunk_offset);
     Packet hs;
     hs.type = PacketType::kHandshake;
     hs.version = version_;
@@ -1123,6 +1357,21 @@ void ServerConnection::process_client_handshake(const Packet& packet) {
   done.packet_number = pn_app_++;
   done.payload = encode_frames({HandshakeDoneFrame{}});
   send_(app_tx_->protect(done));
+
+  const AdversaryPlan& plan = behavior_.adversary;
+  if (plan.garbage_datagrams > 0) {
+    // Post-handshake garbage: undecryptable short-header datagrams the
+    // client must absorb without crashing or reclassifying a successful
+    // attempt. Bytes derive from the per-host plan seed, never from the
+    // per-connection RNG, so the burst is identical in every shard.
+    uint64_t gstate = plan.seed ^ 0x67617262616765ull;
+    for (int i = 0; i < plan.garbage_datagrams; ++i) {
+      std::vector<uint8_t> noise(48 + 16 * static_cast<size_t>(i % 4));
+      for (auto& b : noise) b = static_cast<uint8_t>(splitmix64(gstate));
+      noise[0] = 0x40 | (noise[0] & 0x3f);  // plausible short header
+      send_(std::move(noise));
+    }
+  }
 }
 
 void ServerConnection::process_client_one_rtt(const Packet& packet) {

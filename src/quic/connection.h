@@ -36,9 +36,33 @@ enum class ConnectResult {
   kCryptoError,      // CONNECTION_CLOSE with 0x01xx (e.g. the 0x128 alert)
   kTransportError,   // any other CONNECTION_CLOSE
   kInternalError,    // local protocol violation / undecryptable
+  kProtocolViolation,  // peer misbehavior; cause in ClientReport::protocol_error
 };
 
 std::string to_string(ConnectResult result);
+
+/// Cause taxonomy for attempts terminated by peer misbehavior (the
+/// adversarial-endpoint fabric; DESIGN.md "Adversarial endpoints &
+/// protocol-error taxonomy"). One counter per cause is exported as
+/// `quic.protocol_error.<name>`.
+enum class ProtocolError {
+  kNone,
+  kTpMalformed,         // transport parameters fail to decode
+  kTpDuplicate,         // duplicated TP id (RFC 9000 section 7.4)
+  kFrameUnknown,        // unknown frame type (RFC 9000 section 12.4)
+  kFrameEncoding,       // truncated / malformed frame encoding
+  kFrameIllegal,        // frame type illegal in its packet space
+  kAckInvalid,          // ACK for unsent packets or inverted ranges
+  kCryptoInconsistent,  // conflicting CRYPTO retransmission bytes
+  kTlsDecode,           // TLS handshake message fails to decode
+  kVnLoop,              // VN advertising the version it just rejected
+  kCount,
+};
+
+std::string to_string(ProtocolError error);
+
+inline constexpr size_t kProtocolErrorCount =
+    static_cast<size_t>(ProtocolError::kCount);
 
 struct ClientConfig {
   Version version = kVersion1;
@@ -70,6 +94,11 @@ struct ClientReport {
   int version_retries = 0;
   /// True when the server demanded address validation via Retry.
   bool retry_used = false;
+  /// Cause when result == kProtocolViolation, kNone otherwise.
+  ProtocolError protocol_error = ProtocolError::kNone;
+  /// True once a decryptable ServerHello arrived; lets the scanner
+  /// distinguish a mid-handshake stall from a server that never spoke.
+  bool server_hello_seen = false;
 };
 
 class ClientConnection {
@@ -106,6 +135,14 @@ class ClientConnection {
   bool process_handshake(const Packet& packet);
   void process_one_rtt(const Packet& packet);
   void finish(ConnectResult result);
+  /// Terminates the attempt as kProtocolViolation with `error` recorded
+  /// in the report and a qlog protocol_error terminal event.
+  void fail_protocol(ProtocolError error, const std::string& reason);
+  /// Space-legality (RFC 9000 section 12.4) and ACK-sanity checks over a
+  /// just-decoded packet; on violation fails the attempt and returns
+  /// false. `next_pn` is the next unsent packet number in that space.
+  bool check_frames(const std::vector<Frame>& frames, PacketType space,
+                    uint64_t next_pn);
   tls::ClientHello build_client_hello();
   uint16_t tp_codepoint() const;
 
@@ -151,6 +188,54 @@ class ClientConnection {
 };
 
 /// --- Server side -----------------------------------------------------
+
+/// Per-host misbehavior knobs executed by ServerConnection. Plain data
+/// so the quic layer stays independent of the internet model: the
+/// adversary model (src/internet/adversary.h) derives one plan per host
+/// from (profile, seed, host address) and installs it in the host's
+/// DeploymentBehavior, so every session with that host -- including
+/// client retries -- deterministically meets the same misbehavior.
+struct AdversaryPlan {
+  /// Duplicate a TP id in EncryptedExtensions (RFC 9000 section 7.4).
+  bool tp_duplicate = false;
+  /// Truncated transport parameter at the end of the TP block.
+  bool tp_malformed = false;
+  /// Extra GREASE transport parameters (ids 31*N+27). Legal: a hardened
+  /// client must tolerate these and still succeed.
+  int tp_grease = 0;
+  /// Unknown frame type appended to the server Initial payload.
+  bool frame_unknown = false;
+  /// Well-formed STREAM frame in the Initial packet (illegal space).
+  bool frame_illegal_stream = false;
+  /// ACK with first_ack_range > largest_acknowledged.
+  bool ack_invalid = false;
+  /// Withhold the last N bytes of the EE..Finished CRYPTO flight, so
+  /// the handshake can never complete (mid-handshake truncation).
+  size_t crypto_truncate = 0;
+  /// Send an overlapping CRYPTO retransmission whose bytes conflict
+  /// with the original flight.
+  bool crypto_overlap_conflict = false;
+  /// Answer every Initial with Version Negotiation, advertising the
+  /// broad version set -- including the version just rejected.
+  bool vn_loop = false;
+  /// Send Initial(ACK+SH) then go silent mid-handshake.
+  bool stall_after_hello = false;
+  /// Undecryptable garbage datagrams sent after HANDSHAKE_DONE.
+  int garbage_datagrams = 0;
+  /// Seeds the deterministic mutation bytes (GREASE values, garbage).
+  /// Derived from (adversary seed, host address), never from
+  /// per-connection randomness, so mutated bytes are identical across
+  /// shard partitions and schedules.
+  uint64_t seed = 0;
+
+  bool active() const {
+    return tp_duplicate || tp_malformed || tp_grease > 0 || frame_unknown ||
+           frame_illegal_stream || ack_invalid || crypto_truncate > 0 ||
+           crypto_overlap_conflict || vn_loop || stall_after_hello ||
+           garbage_datagrams > 0;
+  }
+  bool operator==(const AdversaryPlan&) const = default;
+};
 
 /// How a simulated deployment behaves on the wire. Populated by the
 /// internet model from provider profiles.
@@ -204,6 +289,10 @@ struct DeploymentBehavior {
   /// produce genuinely out-of-order CRYPTO at the client. 0 keeps the
   /// single coalesced flight (the default and the seed behavior).
   size_t max_crypto_chunk = 0;
+
+  /// Structure-aware handshake misbehavior executed on top of the
+  /// deployment's normal behavior (default-constructed == compliant).
+  AdversaryPlan adversary;
 };
 
 /// Server-side connection; one per (client endpoint, original DCID).

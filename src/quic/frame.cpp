@@ -137,7 +137,8 @@ std::vector<Frame> decode_frames(std::span<const uint8_t> payload) {
     } else if (type == kTypeHandshakeDone) {
       frames.push_back(HandshakeDoneFrame{});
     } else {
-      throw wire::DecodeError("unknown frame type 0x" + std::to_string(type));
+      throw FrameDecodeError(FrameDecodeError::Kind::kUnknownType, type,
+                             "unknown frame type 0x" + std::to_string(type));
     }
   }
   return frames;

@@ -85,6 +85,19 @@ constexpr bool is_crypto_error(uint64_t code) {
   return code >= 0x0100 && code <= 0x01ff;
 }
 
+/// Frame decode failure with the cause split out for the
+/// protocol-error taxonomy. Subtype of wire::DecodeError so every
+/// existing catch site keeps working; hardened callers catch this first
+/// to distinguish an unknown frame type from a truncated encoding.
+class FrameDecodeError : public wire::DecodeError {
+ public:
+  enum class Kind { kUnknownType, kMalformed };
+  FrameDecodeError(Kind kind, uint64_t frame_type, const std::string& what)
+      : wire::DecodeError(what), kind(kind), frame_type(frame_type) {}
+  Kind kind;
+  uint64_t frame_type;
+};
+
 void encode_frame(wire::Writer& w, const Frame& frame);
 std::vector<uint8_t> encode_frames(const std::vector<Frame>& frames);
 

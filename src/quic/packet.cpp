@@ -270,9 +270,17 @@ bool PacketProtector::unprotect_into(std::span<const uint8_t> datagram,
       sealed_len = r.remaining() - kPnLen;
     }
 
-    // Undo header protection.
+    // Undo header protection. The use is noted here, not at the AEAD
+    // open below: this is where the protector first does cipher work,
+    // and everything before this point is structural (lengths and
+    // cleartext header bits). Whether the masked pn-length check or the
+    // tag check pass depends on key material, i.e. on per-connection
+    // entropy -- counting only past those checks made the campaign's
+    // merged reuse counter depend on how targets were partitioned
+    // across shards.
     size_t sample_at = pn_offset + 4;
     if (sample_at + kHpSampleSize > remaining.size()) return false;
+    note_aead_use();
     auto mask = hp_.encrypt_block(remaining.subspan(sample_at, kHpSampleSize));
     const size_t header_cap = scratch_header_.capacity();
     scratch_header_.assign(remaining.begin(),
@@ -293,7 +301,6 @@ bool PacketProtector::unprotect_into(std::span<const uint8_t> datagram,
     auto sealed = remaining.subspan(pn_offset + kPnLen, sealed_len);
     const size_t payload_cap = out.payload.capacity();
     out.payload.clear();
-    note_aead_use();
     if (!aead_.open_append(nonce_for(pn), header, sealed, out.payload))
       return false;
     if (stats_) {

@@ -100,7 +100,8 @@ TransportParameters decode_transport_parameters(
     uint64_t len = r.varint();
     auto body = r.bytes(len);
     if (!seen.insert(id).second)
-      throw wire::DecodeError("duplicate transport parameter 0x" +
+      throw TpDecodeError(TpDecodeError::Kind::kDuplicate, id,
+                          "duplicate transport parameter 0x" +
                               std::to_string(id));
     wire::Reader value(body);
     auto read_int = [&]() {

@@ -103,6 +103,19 @@ struct TransportParameters {
   std::string config_key() const;
 };
 
+/// Transport-parameter decode failure with the cause split out for the
+/// protocol-error taxonomy. Subtype of wire::DecodeError so existing
+/// catch sites keep working; reads that run off the end of the buffer
+/// still throw the plain base class (callers treat that as malformed).
+class TpDecodeError : public wire::DecodeError {
+ public:
+  enum class Kind { kMalformed, kDuplicate };
+  TpDecodeError(Kind kind, uint64_t param_id, const std::string& what)
+      : wire::DecodeError(what), kind(kind), param_id(param_id) {}
+  Kind kind;
+  uint64_t param_id;
+};
+
 /// Encodes per RFC 9000 section 18 (sequence of id/length/value with
 /// varint ids and lengths).
 std::vector<uint8_t> encode_transport_parameters(

@@ -18,6 +18,10 @@ std::string to_string(QscanOutcome outcome) {
     case QscanOutcome::kOther: return "Other";
     case QscanOutcome::kRateLimited: return "Rate Limited";
     case QscanOutcome::kDegraded: return "Degraded";
+    case QscanOutcome::kProtocolError: return "Protocol Error";
+    case QscanOutcome::kStalledMidHandshake: return "Stalled";
+    case QscanOutcome::kVersionLoop: return "Version Loop";
+    case QscanOutcome::kWatchdog: return "Watchdog";
     case QscanOutcome::kCount: break;  // sentinel, not a class
   }
   return "?";
@@ -33,6 +37,14 @@ QScanner::QScanner(netsim::Network& network, QscanOptions options)
     metric_outcomes_[i] = telemetry::maybe_counter(
         metrics, "qscan.outcome." + to_string(static_cast<QscanOutcome>(i)));
   metric_retries_ = telemetry::maybe_counter(metrics, "qscan.retries");
+  // Cause counters for the violation taxonomy; kNone (index 0) is not
+  // a cause, so its slot stays null.
+  for (size_t i = 1; i < quic::kProtocolErrorCount; ++i)
+    metric_protocol_errors_[i] = telemetry::maybe_counter(
+        metrics, "quic.protocol_error." +
+                     quic::to_string(static_cast<quic::ProtocolError>(i)));
+  metric_watchdog_fired_ =
+      telemetry::maybe_counter(metrics, "qscan.watchdog_fired");
   metric_breaker_trips_ =
       telemetry::maybe_counter(metrics, "qscan.breaker_trips");
   // Bucket bounds follow the sim's RTT scale: the fastest handshakes
@@ -138,8 +150,22 @@ QscanResult QScanner::attempt_once(const QscanTarget& target) {
       [&loop, &finish_us](const quic::ClientReport&) {
         finish_us = loop.now_us();
       });
+  // Per-attempt watchdog: a hostile endpoint can emit unbounded traffic
+  // inside the (virtual-time) deadline -- VN ping-pong, garbage floods.
+  // The rx budget caps the work one attempt can absorb; once exhausted
+  // the rest of the attempt's traffic is dropped on the floor, which is
+  // deterministic (datagram arrival order is) where a wall-clock guard
+  // would not be.
+  uint64_t rx_datagrams = 0;
+  bool watchdog_fired = false;
   socket->set_receiver(
       [&](const netsim::Endpoint&, std::span<const uint8_t> data) {
+        if (watchdog_fired) return;
+        if (options_.watchdog_rx_datagrams > 0 &&
+            ++rx_datagrams > options_.watchdog_rx_datagrams) {
+          watchdog_fired = true;
+          return;
+        }
         connection.on_datagram(data);
       });
 
@@ -174,10 +200,33 @@ QscanResult QScanner::attempt_once(const QscanTarget& target) {
       result.outcome = QscanOutcome::kSuccess;
       break;
     case quic::ConnectResult::kPending:
-      result.outcome = QscanOutcome::kTimeout;
+      if (watchdog_fired) {
+        result.outcome = QscanOutcome::kWatchdog;
+        telemetry::add(metric_watchdog_fired_);
+        if (tracer.active())
+          tracer.emit(telemetry::EventType::kWatchdog,
+                      {{"rx_datagrams", rx_datagrams},
+                       {"budget", options_.watchdog_rx_datagrams}});
+      } else if (result.report.server_hello_seen) {
+        // The server answered (we saw its ServerHello) and then went
+        // quiet or kept the handshake from completing: distinct from a
+        // dead target, and one of the paper's "responds but never
+        // finishes" deployment pathologies.
+        result.outcome = QscanOutcome::kStalledMidHandshake;
+      } else {
+        result.outcome = QscanOutcome::kTimeout;
+      }
       break;
     case quic::ConnectResult::kVersionMismatch:
       result.outcome = QscanOutcome::kVersionMismatch;
+      break;
+    case quic::ConnectResult::kProtocolViolation:
+      result.outcome = result.report.protocol_error ==
+                               quic::ProtocolError::kVnLoop
+                           ? QscanOutcome::kVersionLoop
+                           : QscanOutcome::kProtocolError;
+      telemetry::add(metric_protocol_errors_[static_cast<size_t>(
+          result.report.protocol_error)]);
       break;
     case quic::ConnectResult::kCryptoError:
       result.outcome = result.report.close_error_code == 0x128
@@ -237,12 +286,17 @@ QscanResult QScanner::scan_one(const QscanTarget& target) {
 
   QscanResult result = attempt_once(target);
   int attempts_made = 1;
-  // Only timeouts are retried: every other outcome is a conclusive
-  // server statement, and a later attempt could not improve on it
-  // (outcome reconciliation: conclusive beats timeout, first
-  // conclusive wins).
+  // Only timeouts and mid-handshake stalls are retried: every other
+  // outcome -- including the protocol-error taxonomy, a VN loop and a
+  // tripped watchdog -- is a conclusive server statement, and a later
+  // attempt could not improve on it (outcome reconciliation:
+  // conclusive beats timeout, first conclusive wins).
+  auto retryable = [](QscanOutcome outcome) {
+    return outcome == QscanOutcome::kTimeout ||
+           outcome == QscanOutcome::kStalledMidHandshake;
+  };
   while (attempts_made < options_.retry.max_attempts &&
-         result.outcome == QscanOutcome::kTimeout) {
+         retryable(result.outcome)) {
     auto& loop = network_.loop();
     loop.run_until(loop.now_us() +
                    options_.retry.backoff_us(target.address, attempts_made));

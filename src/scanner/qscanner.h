@@ -45,6 +45,20 @@ enum class QscanOutcome {
   /// Skipped-and-recorded by the open breaker -- no wire traffic, no
   /// virtual time spent, the campaign keeps its deadline.
   kDegraded,
+  /// The server violated the protocol (quic::ProtocolError taxonomy,
+  /// any cause except kVnLoop); conclusive, never retried.
+  kProtocolError,
+  /// The server was seen (ServerHello arrived) but the handshake never
+  /// completed before the attempt deadline -- a mid-handshake stall or
+  /// truncated CRYPTO flight. Retried like a timeout.
+  kStalledMidHandshake,
+  /// Version-negotiation loop: a VN advertising the very version it
+  /// just rejected (quic::ProtocolError::kVnLoop). Conclusive.
+  kVersionLoop,
+  /// The per-attempt rx-datagram watchdog budget ran out before the
+  /// handshake concluded; the rest of the attempt's traffic was
+  /// dropped. Conclusive (a looping endpoint would loop again).
+  kWatchdog,
   kCount,
 };
 
@@ -72,6 +86,13 @@ struct QscanOptions {
   std::vector<quic::Version> supported_versions{
       quic::kDraft29, quic::kDraft32, quic::kDraft34};
   uint64_t handshake_timeout_us = 3'000'000;
+  /// Per-attempt watchdog: after this many received datagrams the
+  /// attempt stops processing input (remaining traffic is dropped) and,
+  /// if the handshake has not concluded, classifies as kWatchdog. A
+  /// compliant handshake needs well under a dozen datagrams, so the
+  /// default only ever trips on hostile or looping endpoints. 0
+  /// disables.
+  uint64_t watchdog_rx_datagrams = 256;
   /// Probe-timeout retransmissions of the first flight (RFC 9002-style
   /// PTO schedule); 0 disables.
   int max_retransmits = 2;
@@ -126,6 +147,10 @@ class QScanner {
   /// the enum sentinel so new classes cannot silently drop counters.
   telemetry::Counter* metric_outcomes_[kQscanOutcomeCount] = {};
   telemetry::Counter* metric_retries_ = nullptr;
+  /// Indexed by quic::ProtocolError; "quic.protocol_error.<cause>"
+  /// counters (index 0 / kNone stays null -- it is not a cause).
+  telemetry::Counter* metric_protocol_errors_[quic::kProtocolErrorCount] = {};
+  telemetry::Counter* metric_watchdog_fired_ = nullptr;
   telemetry::Counter* metric_breaker_trips_ = nullptr;
   telemetry::Histogram* metric_handshake_rtt_ = nullptr;
   telemetry::Histogram* metric_packets_per_attempt_ = nullptr;

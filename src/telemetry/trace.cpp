@@ -18,6 +18,8 @@ const char* event_name(EventType type) {
     case EventType::kFrameProcessed: return "frame_processed";
     case EventType::kConnectionClosed: return "connection_closed";
     case EventType::kTimeout: return "timeout";
+    case EventType::kProtocolError: return "protocol_error";
+    case EventType::kWatchdog: return "watchdog";
   }
   return "?";
 }

@@ -42,6 +42,8 @@ enum class EventType {
   kFrameProcessed,
   kConnectionClosed,
   kTimeout,
+  kProtocolError,  // terminal: attempt killed by the violation taxonomy
+  kWatchdog,       // terminal: per-attempt rx budget exhausted
 };
 
 const char* event_name(EventType type);

@@ -1,0 +1,370 @@
+// Adversarial endpoint fabric tests: the misbehaving-server model
+// (internet/adversary.h) and the hardened client's protocol-error
+// taxonomy (quic/connection.h). Three layers of contract:
+//
+//   * AdversaryModel::plan_for is a pure, deterministic function of
+//     (profile, seed, address) -- the property the campaign engine's
+//     byte-identity rests on;
+//   * every mutation lane the server can arm terminates in the
+//     intended ProtocolError class (or, for the benign lanes, does not
+//     terminate the handshake at all);
+//   * mutated server bytes are identical across runs with the same
+//     seeds ("a broken server is consistently broken"), and the
+//     classification is sticky across different client entropy.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "internet/adversary.h"
+#include "quic/connection.h"
+#include "tls/endpoint.h"
+
+namespace {
+
+using namespace quic;
+
+tls::Certificate make_cert() {
+  tls::Certificate cert;
+  cert.subject_cn = "example.com";
+  cert.san_dns = {"example.com"};
+  cert.issuer_cn = "Example CA";
+  cert.serial = 42;
+  cert.not_before_day = 100;
+  cert.not_after_day = 190;
+  cert.public_key_id = 777;
+  std::vector<uint8_t> ca_key{1, 2, 3};
+  tls::sign_certificate(cert, ca_key);
+  return cert;
+}
+
+DeploymentBehavior default_behavior() {
+  DeploymentBehavior b;
+  b.handshake_versions = {kVersion1, kDraft29};
+  b.advertised_versions = {kVersion1, kDraft29};
+  b.alpn = {"h3", "h3-29"};
+  b.transport_params.initial_max_data = 1048576;
+  b.transport_params.initial_max_stream_data_bidi_local = 65536;
+  b.transport_params.max_udp_payload_size = 1500;
+  auto cert = make_cert();
+  b.select_certificate =
+      [cert](const std::optional<std::string>&)
+      -> std::optional<tls::Certificate> { return cert; };
+  b.http_responder = [](const std::string&) {
+    return "HTTP/1.1 200 OK\r\nserver: testd\r\n\r\n";
+  };
+  return b;
+}
+
+/// Queued loopback (same harness as test_quic_handshake): datagrams
+/// dispatch from a FIFO pump, never reentrantly; a fresh Initial DCID
+/// gets a fresh server session. Optionally records every server ->
+/// client datagram for byte-level comparison.
+struct Loopback {
+  const DeploymentBehavior& behavior;
+  uint64_t seed;
+  std::unique_ptr<ServerConnection> server;
+  ClientConnection* client = nullptr;
+  std::vector<uint8_t> session_dcid;
+  std::deque<std::pair<bool, std::vector<uint8_t>>> queue;  // to_server?
+  std::vector<std::vector<uint8_t>> server_datagrams;
+
+  explicit Loopback(const DeploymentBehavior& b, uint64_t s)
+      : behavior(b), seed(s) {}
+
+  void pump() {
+    while (!queue.empty()) {
+      auto [to_server, datagram] = std::move(queue.front());
+      queue.pop_front();
+      if (to_server) {
+        auto info = peek_datagram(datagram);
+        if (!server || (info && info->long_header &&
+                        info->type == PacketType::kInitial &&
+                        info->dcid != session_dcid)) {
+          if (info) session_dcid = info->dcid;
+          server = std::make_unique<ServerConnection>(
+              behavior, crypto::Rng(seed + 1),
+              [this](std::vector<uint8_t> reply) {
+                server_datagrams.push_back(reply);
+                queue.emplace_back(false, std::move(reply));
+              });
+        }
+        server->on_datagram(datagram);
+      } else if (client) {
+        client->on_datagram(datagram);
+      }
+    }
+  }
+};
+
+ClientConfig default_config() {
+  ClientConfig config;
+  config.version = kVersion1;
+  config.compatible_versions = {kVersion1, kDraft29, kDraft32};
+  config.sni = "example.com";
+  config.alpn = {"h3"};
+  return config;
+}
+
+struct RunOutput {
+  ClientReport report;
+  std::vector<std::vector<uint8_t>> server_datagrams;
+};
+
+RunOutput run_handshake(const AdversaryPlan& plan, uint64_t seed = 1,
+                        ClientConfig config = default_config()) {
+  DeploymentBehavior behavior = default_behavior();
+  behavior.adversary = plan;
+  Loopback loopback(behavior, seed);
+  ClientConnection client(
+      std::move(config), crypto::Rng(seed),
+      [&](std::vector<uint8_t> datagram) {
+        loopback.queue.emplace_back(true, std::move(datagram));
+      },
+      /*done=*/nullptr);
+  loopback.client = &client;
+  client.start();
+  loopback.pump();
+  return {client.report(), std::move(loopback.server_datagrams)};
+}
+
+// ---------------------------------------------------------------------
+// AdversaryModel: deterministic per-host plans.
+
+const internet::AdversaryProfile& profile(const char* name) {
+  const auto* p = internet::find_adversary_profile(name);
+  EXPECT_NE(p, nullptr) << name;
+  return *p;
+}
+
+TEST(AdversaryModel, PlanForIsPureAndDeterministic) {
+  internet::AdversaryModel a(profile("malicious"), 0x1234);
+  internet::AdversaryModel b(profile("malicious"), 0x1234);
+  for (uint32_t i = 0; i < 256; ++i) {
+    auto addr = netsim::IpAddress::v4(0x0a000000u + i * 977);
+    EXPECT_EQ(a.plan_for(addr), b.plan_for(addr));
+    // Repeated queries of the same model agree too (stateless).
+    EXPECT_EQ(a.plan_for(addr), a.plan_for(addr));
+  }
+}
+
+TEST(AdversaryModel, SeedAndAddressBothKeyThePlan) {
+  internet::AdversaryModel a(profile("malicious"), 0x1234);
+  internet::AdversaryModel other_seed(profile("malicious"), 0x4321);
+  size_t differs_by_seed = 0, differs_by_addr = 0;
+  auto first = a.plan_for(netsim::IpAddress::v4(0x0a000000u));
+  for (uint32_t i = 0; i < 64; ++i) {
+    auto addr = netsim::IpAddress::v4(0x0a000000u + i * 977);
+    if (!(a.plan_for(addr) == other_seed.plan_for(addr))) ++differs_by_seed;
+    if (i > 0 && !(a.plan_for(addr) == first)) ++differs_by_addr;
+  }
+  EXPECT_GT(differs_by_seed, 0u);
+  EXPECT_GT(differs_by_addr, 0u);
+}
+
+TEST(AdversaryModel, CompliantProfileIsInert) {
+  EXPECT_TRUE(profile("compliant").is_compliant());
+  EXPECT_FALSE(profile("sloppy").is_compliant());
+  EXPECT_FALSE(profile("broken").is_compliant());
+  EXPECT_FALSE(profile("malicious").is_compliant());
+  internet::AdversaryModel model(profile("compliant"), 0x1234);
+  for (uint32_t i = 0; i < 64; ++i)
+    EXPECT_FALSE(
+        model.plan_for(netsim::IpAddress::v4(0x0a000000u + i)).active());
+}
+
+TEST(AdversaryModel, UnknownProfileIsNullAndNamesAreComplete) {
+  EXPECT_EQ(internet::find_adversary_profile("chaotic-evil"), nullptr);
+  EXPECT_EQ(internet::find_adversary_profile(""), nullptr);
+  auto names = internet::adversary_profile_names();
+  ASSERT_EQ(names.size(), 4u);
+  for (auto name : names)
+    EXPECT_NE(internet::find_adversary_profile(name), nullptr);
+}
+
+// Every mutation lane must actually arm somewhere under `malicious`,
+// or a profile knob would be dead weight the campaigns never exercise.
+TEST(AdversaryModel, MaliciousArmsEveryLaneAcrossHosts) {
+  internet::AdversaryModel model(profile("malicious"), 0x1234);
+  AdversaryPlan seen;
+  std::set<uint64_t> plan_seeds;
+  for (uint32_t i = 0; i < 512; ++i) {
+    auto plan = model.plan_for(netsim::IpAddress::v4(0x0a000000u + i * 977));
+    seen.tp_duplicate |= plan.tp_duplicate;
+    seen.tp_malformed |= plan.tp_malformed;
+    seen.tp_grease = std::max(seen.tp_grease, plan.tp_grease);
+    seen.frame_unknown |= plan.frame_unknown;
+    seen.frame_illegal_stream |= plan.frame_illegal_stream;
+    seen.ack_invalid |= plan.ack_invalid;
+    seen.crypto_truncate = std::max(seen.crypto_truncate, plan.crypto_truncate);
+    seen.crypto_overlap_conflict |= plan.crypto_overlap_conflict;
+    seen.vn_loop |= plan.vn_loop;
+    seen.stall_after_hello |= plan.stall_after_hello;
+    seen.garbage_datagrams =
+        std::max(seen.garbage_datagrams, plan.garbage_datagrams);
+    plan_seeds.insert(plan.seed);
+  }
+  EXPECT_TRUE(seen.tp_duplicate);
+  EXPECT_TRUE(seen.tp_malformed);
+  EXPECT_GT(seen.tp_grease, 0);
+  EXPECT_TRUE(seen.frame_unknown);
+  EXPECT_TRUE(seen.frame_illegal_stream);
+  EXPECT_TRUE(seen.ack_invalid);
+  EXPECT_GT(seen.crypto_truncate, 0u);
+  EXPECT_TRUE(seen.crypto_overlap_conflict);
+  EXPECT_TRUE(seen.vn_loop);
+  EXPECT_TRUE(seen.stall_after_hello);
+  EXPECT_GT(seen.garbage_datagrams, 0);
+  // Mutation-byte seeds are per host, not shared.
+  EXPECT_GT(plan_seeds.size(), 500u);
+}
+
+// ---------------------------------------------------------------------
+// Mutation classes: each lane lands in its intended taxonomy row.
+
+TEST(AdversaryHandshake, BaselinePlanIsNoOp) {
+  auto out = run_handshake(AdversaryPlan{});
+  EXPECT_EQ(out.report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kNone);
+}
+
+TEST(AdversaryHandshake, TpGreaseIsToleratedAndSucceeds) {
+  AdversaryPlan plan;
+  plan.tp_grease = 3;
+  plan.seed = 0x5eed;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kNone);
+}
+
+TEST(AdversaryHandshake, GarbageDatagramsAreToleratedAndSucceed) {
+  AdversaryPlan plan;
+  plan.garbage_datagrams = 4;
+  plan.seed = 0x5eed;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kSuccess);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kNone);
+}
+
+TEST(AdversaryHandshake, DuplicateTpClassifiesTpDuplicate) {
+  AdversaryPlan plan;
+  plan.tp_duplicate = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kTpDuplicate);
+}
+
+TEST(AdversaryHandshake, MalformedTpClassifiesTpMalformed) {
+  AdversaryPlan plan;
+  plan.tp_malformed = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kTpMalformed);
+}
+
+TEST(AdversaryHandshake, UnknownFrameClassifiesFrameUnknown) {
+  AdversaryPlan plan;
+  plan.frame_unknown = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kFrameUnknown);
+}
+
+TEST(AdversaryHandshake, IllegalStreamFrameClassifiesFrameIllegal) {
+  AdversaryPlan plan;
+  plan.frame_illegal_stream = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kFrameIllegal);
+}
+
+TEST(AdversaryHandshake, InvalidAckClassifiesAckInvalid) {
+  AdversaryPlan plan;
+  plan.ack_invalid = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kAckInvalid);
+}
+
+TEST(AdversaryHandshake, ConflictingCryptoOverlapClassifiesInconsistent) {
+  AdversaryPlan plan;
+  plan.crypto_overlap_conflict = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kCryptoInconsistent);
+}
+
+TEST(AdversaryHandshake, VnLoopClassifiesVnLoop) {
+  AdversaryPlan plan;
+  plan.vn_loop = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation);
+  EXPECT_EQ(out.report.protocol_error, ProtocolError::kVnLoop);
+}
+
+TEST(AdversaryHandshake, StallAfterHelloLeavesPendingWithServerSeen) {
+  AdversaryPlan plan;
+  plan.stall_after_hello = true;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kPending);
+  EXPECT_TRUE(out.report.server_hello_seen);
+}
+
+TEST(AdversaryHandshake, TruncatedCryptoLeavesPendingWithServerSeen) {
+  AdversaryPlan plan;
+  plan.crypto_truncate = 64;
+  auto out = run_handshake(plan);
+  EXPECT_EQ(out.report.result, ConnectResult::kPending);
+  EXPECT_TRUE(out.report.server_hello_seen);
+}
+
+// ---------------------------------------------------------------------
+// Determinism of the mutated bytes themselves.
+
+TEST(AdversaryHandshake, SameSeedsProduceIdenticalMutatedBytes) {
+  AdversaryPlan plan;
+  plan.tp_duplicate = true;
+  plan.tp_grease = 2;
+  plan.frame_unknown = true;
+  plan.ack_invalid = true;
+  plan.seed = 0xfeedbeef;
+  auto a = run_handshake(plan, /*seed=*/7);
+  auto b = run_handshake(plan, /*seed=*/7);
+  ASSERT_EQ(a.server_datagrams.size(), b.server_datagrams.size());
+  for (size_t i = 0; i < a.server_datagrams.size(); ++i)
+    EXPECT_EQ(a.server_datagrams[i], b.server_datagrams[i]) << i;
+  EXPECT_EQ(a.report.protocol_error, b.report.protocol_error);
+}
+
+// Same plan, different client/server entropy: the bytes differ (new
+// connection IDs and keys) but the classification is sticky -- what the
+// campaign's retry path and the cross-shard determinism both rely on.
+TEST(AdversaryHandshake, ClassificationIsStickyAcrossConnectionEntropy) {
+  AdversaryPlan plan;
+  plan.tp_duplicate = true;
+  plan.seed = 0xfeedbeef;
+  for (uint64_t seed : {1ull, 2ull, 99ull, 0x5ca9ull}) {
+    auto out = run_handshake(plan, seed);
+    EXPECT_EQ(out.report.result, ConnectResult::kProtocolViolation) << seed;
+    EXPECT_EQ(out.report.protocol_error, ProtocolError::kTpDuplicate) << seed;
+  }
+}
+
+// Garbage bytes derive from plan.seed, not the connection RNG: with
+// the same plan and same connection seeds, the trailing garbage
+// datagrams are identical; flipping only plan.seed changes them.
+TEST(AdversaryHandshake, GarbageBytesKeyOnPlanSeedOnly) {
+  AdversaryPlan plan;
+  plan.garbage_datagrams = 3;
+  plan.seed = 0x1111;
+  auto a = run_handshake(plan, /*seed=*/7);
+  AdversaryPlan other = plan;
+  other.seed = 0x2222;
+  auto b = run_handshake(other, /*seed=*/7);
+  ASSERT_EQ(a.server_datagrams.size(), b.server_datagrams.size());
+  EXPECT_NE(a.server_datagrams.back(), b.server_datagrams.back());
+}
+
+}  // namespace

@@ -92,7 +92,8 @@ ChaosRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
                       const std::string& profile, int retries, bool breaker,
                       int jobs,
                       engine::Schedule schedule = engine::Schedule::kDynamic,
-                      size_t chunk_size = 0) {
+                      size_t chunk_size = 0,
+                      const std::string& adversary = "") {
   engine::CampaignOptions options;
   options.jobs = jobs;
   options.seed = kSeed;
@@ -102,6 +103,7 @@ ChaosRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
   options.population = kPopulation;
   options.snapshot = shared_snapshot();
   options.impairment = profile;
+  options.adversary = adversary;
   engine::Campaign campaign(options);
 
   std::atomic<uint64_t> scanned{0};
@@ -166,6 +168,52 @@ TEST(Chaos, HostileSoakClassifiesEveryAttempt) {
   // and plenty still time out.
   EXPECT_GT(run.outcome("Success"), 0u);
   EXPECT_GT(run.outcome("Timeout"), 0u);
+}
+
+// The adversarial headline soak (acceptance criterion of the
+// misbehaving-endpoint overlay): 10k targets against the `malicious`
+// adversary ON TOP of the `hostile` fabric -- every server that the
+// per-host plan arms mutates its handshake (malformed/duplicated TPs,
+// unknown and illegal frames, bad ACK ranges, conflicting CRYPTO,
+// version-negotiation loops, mid-handshake stalls, garbage datagrams)
+// while the network corrupts, reorders and burst-drops around it.
+// Success is: the campaign finishes (the 900 s ctest TIMEOUT is the
+// hang detector), zero crashes, every attempt lands in exactly one
+// outcome class, the new taxonomy rows actually fire, and the outcome
+// mix is invariant across shard counts.
+TEST(Chaos, MaliciousAdversarySoakClassifiesEveryAttempt) {
+  // Fixed chunk size: the target list cycles duplicate addresses, so
+  // outcome-mix invariance only holds when the chunk partition (and
+  // with it each link's fabric draw sequence) is pinned independently
+  // of --jobs -- the same K-invariance caveat as the hostile soak.
+  constexpr size_t kChunk = 97;
+  auto targets = make_targets(10'000);
+  auto run = run_campaign(targets, "hostile", /*retries=*/1,
+                          /*breaker=*/false, /*jobs=*/4,
+                          engine::Schedule::kDynamic, kChunk,
+                          /*adversary=*/"malicious");
+  EXPECT_GT(run.scanned, 0u);
+  EXPECT_EQ(run.classified_total(), run.scanned);
+  EXPECT_EQ(run.attempts, run.scanned + run.retries);
+  // The adversary is pervasive, not total: compliant-planned hosts
+  // still succeed, and each misbehavior family lands in its own class.
+  EXPECT_GT(run.outcome("Success"), 0u);
+  EXPECT_GT(run.outcome("Protocol Error"), 0u);
+  EXPECT_GT(run.outcome("Version Loop"), 0u);
+  EXPECT_GT(run.outcome("Stalled"), 0u);
+
+  // Outcome-mix invariance: per-host plans key on (seed, address) and
+  // the chunk worlds line up at the fixed size, so re-sharding the same
+  // list must not move a single row between classes.
+  for (int jobs : {1, 8}) {
+    auto other = run_campaign(targets, "hostile", /*retries=*/1,
+                              /*breaker=*/false, jobs,
+                              engine::Schedule::kDynamic, kChunk,
+                              /*adversary=*/"malicious");
+    EXPECT_EQ(other.outcomes, run.outcomes) << "jobs=" << jobs;
+    EXPECT_EQ(other.attempts, run.attempts) << "jobs=" << jobs;
+    EXPECT_EQ(other.retries, run.retries) << "jobs=" << jobs;
+  }
 }
 
 // Retry efficacy (acceptance criterion): on `bursty`, a retry budget

@@ -18,6 +18,7 @@
 //      cannot leak into any output byte.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -79,7 +80,8 @@ std::string row_of(const scanner::QscanResult& result) {
     out << quic::version_name(result.report.negotiated_version);
   out << ',' << result.report.tls.selected_alpn.value_or("") << ','
       << result.report.server_transport_params.initial_max_data.value_or(0)
-      << ',' << result.server_header.value_or("");
+      << ',' << result.server_header.value_or("") << ','
+      << quic::to_string(result.report.protocol_error);
   return out.str();
 }
 
@@ -107,7 +109,8 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
                          const std::string& impairment = "",
                          int retries = 0,
                          engine::Schedule schedule = engine::Schedule::kStatic,
-                         size_t chunk_size = 0) {
+                         size_t chunk_size = 0,
+                         const std::string& adversary = "") {
   engine::CampaignOptions options;
   options.jobs = jobs;
   options.seed = seed;
@@ -118,6 +121,7 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
   options.snapshot = shared_snapshot();
   options.qlog_dir = qlog_dir;
   options.impairment = impairment;
+  options.adversary = adversary;
   engine::Campaign campaign(options);
 
   const size_t slots = campaign.slot_count(targets.size());
@@ -161,7 +165,7 @@ CampaignRun run_campaign(const std::vector<scanner::QscanTarget>& targets,
 CampaignRun run_serial_baseline(
     const std::vector<scanner::QscanTarget>& targets, uint64_t seed,
     const std::string& qlog_dir = "", const std::string& impairment = "",
-    int retries = 0) {
+    int retries = 0, const std::string& adversary = "") {
   netsim::EventLoop loop;
   internet::Internet net(kPopulation, kWeek, loop);
   telemetry::MetricsRegistry metrics;
@@ -171,6 +175,16 @@ CampaignRun run_serial_baseline(
   // any scanner traffic, so the fabric's counters land in the registry.
   if (!impairment.empty())
     net.apply_impairment(*netsim::find_impairment_profile(impairment));
+  // The engine resolves QREPRO_ADVERSARY for an unset option; the
+  // baseline must follow suit or the CI sweep (verify_all.sh runs this
+  // battery with QREPRO_ADVERSARY=broken) would compare a hostile
+  // campaign against a compliant baseline.
+  std::string adversary_name = adversary;
+  if (adversary_name.empty())
+    if (const char* env = std::getenv("QREPRO_ADVERSARY"))
+      adversary_name = env;
+  if (!adversary_name.empty())
+    net.apply_adversary(*internet::find_adversary_profile(adversary_name));
 
   std::optional<telemetry::QlogDir> qlog;
   if (!qlog_dir.empty()) qlog.emplace(qlog_dir);
@@ -443,6 +457,54 @@ TEST(EngineDifferential, UnknownImpairmentProfileRejectedUpFront) {
   options.population = kPopulation;
   options.impairment = "apocalyptic";
   EXPECT_THROW(engine::Campaign campaign(options), std::invalid_argument);
+}
+
+TEST(EngineDifferential, UnknownAdversaryProfileRejectedUpFront) {
+  engine::CampaignOptions options;
+  options.jobs = 1;
+  options.seed = kSeed;
+  options.week = kWeek;
+  options.population = kPopulation;
+  options.adversary = "chaotic-evil";
+  EXPECT_THROW(engine::Campaign campaign(options), std::invalid_argument);
+}
+
+TEST(EngineDifferential, AdversaryJobs1MatchesSerialBaselineByteForByte) {
+  // The misbehaving-endpoint overlay under the engine: a --jobs 1
+  // campaign with --adversary broken must reproduce the hand-rolled
+  // serial path (apply_adversary called directly) byte for byte.
+  auto targets = campaign_targets();
+  auto serial = run_serial_baseline(targets, kSeed, "", "", 1, "broken");
+  auto engine_run = run_campaign(targets, 1, kSeed, "", "", 1,
+                                 engine::Schedule::kStatic, 0, "broken");
+  EXPECT_EQ(engine_run.rows, serial.rows);
+  EXPECT_EQ(engine_run.metrics_json, serial.metrics_json);
+}
+
+TEST(EngineDifferential, AdversaryMergedOutputInvariantAcrossJobsSchedules) {
+  // Per-host misbehavior plans key on (population seed, host address)
+  // only, so the merged rows, metrics and report.json under any
+  // adversary profile are invariant across jobs counts and both
+  // schedules -- misclassification drift across shard partitions would
+  // surface here as a row diff.
+  auto targets = campaign_targets();
+  for (const char* profile : {"sloppy", "malicious"}) {
+    SCOPED_TRACE(profile);
+    auto baseline = run_campaign(targets, 1, kSeed, "", "hostile", 1,
+                                 engine::Schedule::kStatic, 0, profile);
+    for (auto schedule :
+         {engine::Schedule::kStatic, engine::Schedule::kDynamic}) {
+      for (int jobs : {2, 4, 8}) {
+        SCOPED_TRACE(std::string(engine::schedule_name(schedule)) +
+                     " jobs=" + std::to_string(jobs));
+        auto run = run_campaign(targets, jobs, kSeed, "", "hostile", 1,
+                                schedule, 7, profile);
+        EXPECT_EQ(run.rows, baseline.rows);
+        EXPECT_EQ(run.metrics_json, baseline.metrics_json);
+        EXPECT_EQ(run.report_json, baseline.report_json);
+      }
+    }
+  }
 }
 
 TEST(EngineDifferential, EmptyTailShardsLeaveOutputUnchanged) {

@@ -21,6 +21,7 @@
 #include "quic/frame.h"
 #include "quic/packet.h"
 #include "quic/transport_params.h"
+#include "scanner/qscanner.h"
 #include "telemetry/metrics.h"
 #include "tls/certificate.h"
 #include "tls/record.h"
@@ -477,6 +478,97 @@ TEST(DynamicSchedulerStress, StealScheduleNeverChangesMergedOutput) {
       EXPECT_FALSE(baseline.empty());
     } else {
       EXPECT_EQ(json.str(), baseline);
+    }
+  }
+}
+
+/// --- Adversary fabric: merged output is schedule/partition free ------
+///
+/// The misbehaving-endpoint overlay (DESIGN.md "Adversarial endpoints")
+/// keys every per-host plan on (population seed, host address) alone,
+/// so the merged campaign output under *every* adversary profile must
+/// be a pure function of the option set: byte-identical across
+/// --jobs 1/2/4/8 and both steal schedules.
+
+struct AdversarySweepRun {
+  std::vector<std::string> rows;
+  std::string metrics_json;
+};
+
+AdversarySweepRun run_adversary_campaign(
+    const std::shared_ptr<const internet::Snapshot>& snapshot,
+    const std::vector<scanner::QscanTarget>& targets,
+    const std::string& adversary, int jobs, engine::Schedule schedule) {
+  engine::CampaignOptions options;
+  options.jobs = jobs;
+  options.seed = 0x5ca9;
+  options.schedule = schedule;
+  options.chunk_size = 7;
+  options.snapshot = snapshot;
+  options.adversary = adversary;
+  engine::Campaign campaign(options);
+
+  const size_t slots = campaign.slot_count(targets.size());
+  std::vector<std::vector<scanner::QscanResult>> shard_rows(slots);
+  campaign.run(targets.size(), [&](engine::ShardEnv& env) {
+    scanner::QscanOptions qopt;
+    qopt.seed = env.seed;
+    qopt.metrics = env.metrics;
+    scanner::QScanner qscanner(env.internet->network(), qopt);
+    auto& rows = shard_rows[static_cast<size_t>(env.shard_index)];
+    for (size_t i = env.range.begin; i < env.range.end; ++i) {
+      if (!qscanner.compatible(targets[i])) continue;
+      rows.push_back(qscanner.scan_one(targets[i]));
+    }
+  });
+
+  AdversarySweepRun run;
+  for (const auto& result : engine::concat_shards(std::move(shard_rows))) {
+    std::ostringstream row;
+    row << result.target.address.to_string() << ','
+        << scanner::to_string(result.outcome) << ','
+        << quic::to_string(result.report.protocol_error);
+    run.rows.push_back(row.str());
+  }
+  std::ostringstream json;
+  campaign.metrics().write_json(json);
+  run.metrics_json = json.str();
+  return run;
+}
+
+TEST(AdversaryPropertySweep, MergedOutputInvariantAcrossJobsAndSchedules) {
+  auto snapshot = std::make_shared<const internet::Snapshot>(
+      internet::PopulationParams{.dns_corpus_scale = 0.002}, 18);
+  std::vector<scanner::QscanTarget> targets;
+  {
+    netsim::EventLoop loop;
+    internet::Internet net(snapshot, loop);
+    for (const auto& host : net.population().hosts()) {
+      if (!host.address.is_v4()) continue;
+      targets.push_back({host.address, std::nullopt,
+                         host.advertised_versions});
+      if (targets.size() >= 40) break;
+    }
+  }
+  ASSERT_FALSE(targets.empty());
+
+  for (std::string_view profile : internet::adversary_profile_names()) {
+    SCOPED_TRACE(std::string(profile));
+    auto baseline = run_adversary_campaign(snapshot, targets,
+                                           std::string(profile), 1,
+                                           engine::Schedule::kStatic);
+    EXPECT_FALSE(baseline.rows.empty());
+    for (auto schedule :
+         {engine::Schedule::kStatic, engine::Schedule::kDynamic}) {
+      for (int jobs : {2, 4, 8}) {
+        SCOPED_TRACE(std::string(engine::schedule_name(schedule)) +
+                     " jobs=" + std::to_string(jobs));
+        auto run = run_adversary_campaign(snapshot, targets,
+                                          std::string(profile), jobs,
+                                          schedule);
+        EXPECT_EQ(run.rows, baseline.rows);
+        EXPECT_EQ(run.metrics_json, baseline.metrics_json);
+      }
     }
   }
 }

@@ -331,6 +331,38 @@ TEST(PacketProtection, ClientServerKeysDiffer) {
   EXPECT_TRUE(client.unprotect(bytes, offset).has_value());
 }
 
+TEST(PacketProtection, TrialDecryptUseCountIsKeyIndependent) {
+  // A trial decrypt of an undecryptable datagram must cost exactly one
+  // AEAD-context use no matter which keys the protector holds: the
+  // masked pn-length and tag checks depend on key material (i.e. on
+  // per-connection entropy), so counting uses only past them would make
+  // the campaign's merged hotpath.aead_ctx_reuse counter depend on how
+  // targets were partitioned across shards. Adversarial garbage bursts
+  // made exactly that happen before the use was noted at the header-
+  // protection step.
+  crypto::Rng noise_rng(0x6761);
+  auto garbage = noise_rng.bytes(64);
+  garbage[0] = 0x40 | (garbage[0] & 0x3f);  // plausible short header
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    crypto::Rng rng(seed);
+    auto dcid = rng.bytes(8);
+    auto protector = PacketProtector::for_initial(kVersion1, dcid, false);
+    HotpathStats stats;
+    protector.set_stats(&stats);
+    // Prime the context so the garbage decrypt below is a "reuse".
+    Packet prime;
+    prime.type = PacketType::kInitial;
+    prime.version = kVersion1;
+    prime.dcid = dcid;
+    prime.packet_number = 0;
+    prime.payload = encode_frames({PaddingFrame{1200}});
+    protector.protect(prime);
+    size_t offset = 0;
+    EXPECT_FALSE(protector.unprotect(garbage, offset).has_value());
+    EXPECT_EQ(stats.aead_ctx_reuse, 1u) << "seed " << seed;
+  }
+}
+
 TEST(PacketProtection, TamperingDetected) {
   crypto::Rng rng(8);
   auto dcid = rng.bytes(8);

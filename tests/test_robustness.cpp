@@ -7,6 +7,7 @@
 #include "quic/connection.h"
 #include "scanner/qscanner.h"
 #include "scanner/zmap.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -99,6 +100,49 @@ TEST(Robustness, ServerSurvivesGarbageDatagrams) {
   auto result = qscanner.scan_one(
       {target->address, domain->name, target->advertised_versions});
   EXPECT_EQ(result.outcome, scanner::QscanOutcome::kSuccess);
+}
+
+TEST(Robustness, WatchdogCutsOffAttemptsPastTheDatagramBudget) {
+  // A one-datagram receive budget turns every normal multi-datagram
+  // handshake into a Watchdog outcome; the default budget (256) lets
+  // the same host complete. Between them: the per-attempt watchdog is
+  // wired into the receive path and is generous enough to never fire
+  // on a compliant exchange.
+  netsim::EventLoop loop;
+  internet::Internet net({.dns_corpus_scale = 0.005}, 18, loop);
+  const internet::HostProfile* target = nullptr;
+  const internet::DomainInfo* domain = nullptr;
+  for (const auto& host : net.population().hosts()) {
+    if (host.group != "cloudflare" || !host.address.is_v4()) continue;
+    for (uint32_t id : host.domain_ids) {
+      target = &host;
+      domain = &net.population().domains()[id];
+      break;
+    }
+    if (target) break;
+  }
+  ASSERT_NE(target, nullptr);
+
+  telemetry::MetricsRegistry metrics;
+  scanner::QscanOptions starved;
+  starved.metrics = &metrics;
+  starved.watchdog_rx_datagrams = 1;
+  scanner::QScanner strangled(net.network(), starved);
+  auto result = strangled.scan_one(
+      {target->address, domain->name, target->advertised_versions});
+  EXPECT_EQ(result.outcome, scanner::QscanOutcome::kWatchdog);
+  const auto* fired = metrics.find_counter("qscan.watchdog_fired");
+  ASSERT_NE(fired, nullptr);
+  EXPECT_EQ(fired->value(), 1u);
+
+  // Fresh seed: the default seed would replay the strangled attempt's
+  // source port and DCID, landing in that half-open server connection.
+  scanner::QscanOptions defaults;
+  defaults.seed = 99;
+  scanner::QScanner patient(net.network(), defaults);
+  auto ok = patient.scan_one(
+      {target->address, domain->name, target->advertised_versions});
+  EXPECT_EQ(ok.outcome, scanner::QscanOutcome::kSuccess);
 }
 
 TEST(Robustness, ClientIgnoresForgedVersionNegotiation) {

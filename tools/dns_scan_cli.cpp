@@ -5,7 +5,8 @@
 //   dns_scan_cli [--week N] [--list NAME] [--https-only] [--jobs N]
 //                [--schedule static|dynamic] [--chunk-size N]
 //                [--seed N] [--qlog DIR] [--metrics FILE]
-//                [--sched-metrics FILE] [--impair PROFILE] [--retries N]
+//                [--sched-metrics FILE] [--impair PROFILE]
+//                [--adversary PROFILE] [--retries N]
 //                [--report DIR]
 //
 // NAME is one of: alexa, majestic, umbrella, czds, comnetorg.
@@ -20,7 +21,9 @@
 // non-deterministic wall-clock scheduler telemetry separately.
 // --impair overlays a named fault-fabric profile on every server link
 // (the resolver path is zone-store backed, so this mainly matters when
-// other scanners share the snapshot); --retries N re-queries
+// other scanners share the snapshot); --adversary overlays a named
+// misbehaving-endpoint profile on every server host (same caveat);
+// --retries N re-queries
 // empty-answer domains up to N extra times. --report streams every
 // resolved record through an in-shard report::ReportAccumulator and
 // writes DIR/report.{json,md} from the shard-order fold
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string sched_metrics_file;
   std::string impair;
+  std::string adversary;
   int retries = 0;
   std::string report_dir;
   for (int i = 1; i < argc; ++i) {
@@ -92,6 +96,8 @@ int main(int argc, char** argv) {
       sched_metrics_file = argv[++i];
     } else if (arg == "--impair" && i + 1 < argc) {
       impair = argv[++i];
+    } else if (arg == "--adversary" && i + 1 < argc) {
+      adversary = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
     } else if (arg == "--report" && i + 1 < argc) {
@@ -102,7 +108,7 @@ int main(int argc, char** argv) {
                    "[--https-only] [--jobs N] [--schedule static|dynamic] "
                    "[--chunk-size N] [--seed N] [--qlog DIR] "
                    "[--metrics FILE] [--sched-metrics FILE] "
-                   "[--impair PROFILE] [--retries N] "
+                   "[--impair PROFILE] [--adversary PROFILE] [--retries N] "
                    "[--report DIR] [--crypto-backend NAME]\n");
       return 2;
     }
@@ -111,6 +117,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--impair: unknown impairment profile '%s' (known:",
                  impair.c_str());
     for (auto known : netsim::impairment_profile_names())
+      std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
+                   known.data());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (!adversary.empty() && !internet::find_adversary_profile(adversary)) {
+    std::fprintf(stderr, "--adversary: unknown adversary profile '%s' (known:",
+                 adversary.c_str());
+    for (auto known : internet::adversary_profile_names())
       std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
                    known.data());
     std::fprintf(stderr, ")\n");
@@ -155,6 +170,7 @@ int main(int argc, char** argv) {
       campaign_options.population, week);
   campaign_options.qlog_dir = qlog_dir;
   campaign_options.impairment = impair;
+  campaign_options.adversary = adversary;
   engine::Campaign campaign(campaign_options);
 
   // The corpus comes from a planning world over the same shared

@@ -7,7 +7,8 @@
 //   qscanner_cli [--week N] [--all | --targets FILE] [--no-http]
 //                [--jobs N] [--schedule static|dynamic] [--chunk-size N]
 //                [--seed N] [--qlog DIR] [--metrics FILE]
-//                [--sched-metrics FILE] [--impair PROFILE] [--retries N]
+//                [--sched-metrics FILE] [--impair PROFILE]
+//                [--adversary PROFILE] [--retries N]
 //                [--breaker] [--report DIR] [--crypto-backend NAME]
 //
 // FILE format: one target per line, "address" or "address,sni-domain".
@@ -28,7 +29,11 @@
 // straggler ratio) to its own file -- it is non-deterministic and
 // deliberately kept out of the --metrics JSON.
 // --impair overlays a named fault-fabric profile (clean, lossy,
-// bursty, hostile, throttled) on every server link; --retries N gives
+// bursty, hostile, throttled) on every server link; --adversary
+// overlays a named misbehaving-endpoint profile (compliant, sloppy,
+// broken, malicious) on every server host -- deterministic per-host
+// misbehavior plans, classified by the protocol-error taxonomy (see
+// DESIGN.md "Adversarial endpoints"); --retries N gives
 // each timed-out target up to N extra attempts with deterministic
 // backoff; --breaker enables the per-AS circuit breaker
 // (skip-and-record when a provider keeps timing out). --report streams
@@ -99,6 +104,15 @@ void report_unknown_profile(const char* flag, const std::string& name) {
   std::fprintf(stderr, ")\n");
 }
 
+void report_unknown_adversary(const char* flag, const std::string& name) {
+  std::fprintf(stderr, "%s: unknown adversary profile '%s' (known:",
+               flag, name.c_str());
+  for (auto known : internet::adversary_profile_names())
+    std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
+                 known.data());
+  std::fprintf(stderr, ")\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +128,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string sched_metrics_file;
   std::string impair;
+  std::string adversary;
   int retries = 0;
   bool breaker = false;
   std::string report_dir;
@@ -156,6 +171,8 @@ int main(int argc, char** argv) {
       sched_metrics_file = argv[++i];
     } else if (arg == "--impair" && i + 1 < argc) {
       impair = argv[++i];
+    } else if (arg == "--adversary" && i + 1 < argc) {
+      adversary = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
     } else if (arg == "--breaker") {
@@ -168,13 +185,17 @@ int main(int argc, char** argv) {
                    "[--no-http] [--jobs N] [--schedule static|dynamic] "
                    "[--chunk-size N] [--seed N] [--qlog DIR] "
                    "[--metrics FILE] [--sched-metrics FILE] "
-                   "[--impair PROFILE] [--retries N] "
+                   "[--impair PROFILE] [--adversary PROFILE] [--retries N] "
                    "[--breaker] [--report DIR] [--crypto-backend NAME]\n");
       return 2;
     }
   }
   if (!impair.empty() && !netsim::find_impairment_profile(impair)) {
     report_unknown_profile("--impair", impair);
+    return 2;
+  }
+  if (!adversary.empty() && !internet::find_adversary_profile(adversary)) {
+    report_unknown_adversary("--adversary", adversary);
     return 2;
   }
   if (retries < 0) {
@@ -219,6 +240,7 @@ int main(int argc, char** argv) {
       campaign_options.population, week);
   campaign_options.qlog_dir = qlog_dir;
   campaign_options.impairment = impair;
+  campaign_options.adversary = adversary;
   engine::Campaign campaign(campaign_options);
 
   // Per-slice output slots: each body writes only to its own index;

@@ -7,8 +7,11 @@
 # The Google-Benchmark binaries (micro_codec, micro_scanner,
 # micro_telemetry) emit their standard JSON via --benchmark_out; the
 # wall-clock campaign benches (micro_engine, micro_hotpath, micro_chaos,
-# micro_report)
-# write their own JSON summaries. All artifacts land in the repository
+# micro_adversary, micro_report)
+# write their own JSON summaries. BENCH_adversary.json carries the
+# per-adversary-profile classification throughput and outcome taxonomy
+# plus the 10k malicious+hostile soak (micro_adversary aborts on any
+# jobs-1-vs-4 outcome drift or unclassified attempt). All artifacts land in the repository
 # root as BENCH_<name>.json so diffs of a perf PR show the numbers
 # moving. BENCH_engine.json carries both the clean scaling sweep and
 # the hostile static-vs-dynamic scheduler section (throughput plus
@@ -35,7 +38,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$JOBS" --target \
   micro_codec micro_scanner micro_telemetry micro_engine micro_hotpath \
-  micro_chaos micro_report
+  micro_chaos micro_adversary micro_report
 
 # Google-Benchmark timing suites: standard JSON reporter.
 for name in codec scanner telemetry; do
@@ -52,6 +55,8 @@ echo "== micro_hotpath"
 "$BUILD/bench/micro_hotpath" "$ROOT/BENCH_hotpath.json"
 echo "== micro_chaos"
 "$BUILD/bench/micro_chaos" "$ROOT/BENCH_chaos.json"
+echo "== micro_adversary"
+"$BUILD/bench/micro_adversary" "$ROOT/BENCH_adversary.json"
 echo "== micro_report"
 "$BUILD/bench/micro_report" "$ROOT/BENCH_report.json"
 

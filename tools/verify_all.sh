@@ -27,6 +27,14 @@
 # two passes both ends of the crypto dispatch (DESIGN.md "Crypto
 # backends") stay green -- tests that pin a backend explicitly are
 # unaffected by the knob.
+#
+# On the sanitizer trees the fast lane additionally runs one pass with
+# QREPRO_ADVERSARY=broken: every campaign that leaves
+# CampaignOptions.adversary unset then scans a fabric of misbehaving
+# endpoints (DESIGN.md "Adversarial endpoints"), so the mutated-
+# handshake parse paths and the protocol-error classifier sweep under
+# ASan/UBSan and the watchdog/steal interplay under TSan -- tests that
+# pin an adversary explicitly are unaffected by the knob.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -54,6 +62,12 @@ verify_tree() {
           -j"$JOBS" -LE 'soak|bench|chaos')
     done
   done
+  if [[ "$dir" == build-asan || "$dir" == build-tsan ]]; then
+    echo "=== $dir: fast lane (ctest -LE 'soak|bench|chaos'," \
+         "adversary broken)"
+    (cd "$ROOT/$dir" && env QREPRO_ADVERSARY=broken ctest \
+        --output-on-failure -j"$JOBS" -LE 'soak|bench|chaos')
+  fi
   if [[ "$RUN_CHAOS" == 1 ]]; then
     echo "=== $dir: chaos lane (ctest -L chaos)"
     (cd "$ROOT/$dir" && ctest --output-on-failure -L chaos)

@@ -6,7 +6,8 @@
 //                 [--blocklist CIDR[,CIDR...]] [--ipv6] [--csv]
 //                 [--jobs N] [--schedule static|dynamic] [--chunk-size N]
 //                 [--seed N] [--qlog DIR] [--metrics FILE]
-//                 [--sched-metrics FILE] [--impair PROFILE] [--retries N]
+//                 [--sched-metrics FILE] [--impair PROFILE]
+//                 [--adversary PROFILE] [--retries N]
 //                 [--report DIR]
 //
 // --jobs N runs the sweep on N worker threads, like the real ZMap's
@@ -22,7 +23,9 @@
 // writes the non-deterministic wall-clock scheduler telemetry
 // separately.
 // --impair overlays a named fault-fabric profile (clean, lossy,
-// bursty, hostile, throttled) on every server link; --retries N
+// bursty, hostile, throttled) on every server link; --adversary
+// overlays a named misbehaving-endpoint profile (compliant, sloppy,
+// broken, malicious) on every server host; --retries N
 // re-probes non-responders in up to N extra sweep rounds. --report
 // streams every responder through an in-shard
 // report::ReportAccumulator and writes DIR/report.{json,md} from the
@@ -55,7 +58,8 @@ void usage() {
                "                     [--chunk-size N] [--seed N]\n"
                "                     [--qlog DIR] [--metrics FILE]\n"
                "                     [--sched-metrics FILE]\n"
-               "                     [--impair PROFILE] [--retries N]\n"
+               "                     [--impair PROFILE]\n"
+               "                     [--adversary PROFILE] [--retries N]\n"
                "                     [--report DIR]\n"
                "                     [--crypto-backend NAME]\n");
 }
@@ -77,6 +81,7 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string sched_metrics_file;
   std::string impair;
+  std::string adversary;
   int retries = 0;
   std::string report_dir;
 
@@ -112,6 +117,8 @@ int main(int argc, char** argv) {
       sched_metrics_file = argv[++i];
     } else if (arg == "--impair" && i + 1 < argc) {
       impair = argv[++i];
+    } else if (arg == "--adversary" && i + 1 < argc) {
+      adversary = argv[++i];
     } else if (arg == "--retries" && i + 1 < argc) {
       retries = std::atoi(argv[++i]);
     } else if (arg == "--report" && i + 1 < argc) {
@@ -149,6 +156,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--impair: unknown impairment profile '%s' (known:",
                  impair.c_str());
     for (auto known : netsim::impairment_profile_names())
+      std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
+                   known.data());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (!adversary.empty() && !internet::find_adversary_profile(adversary)) {
+    std::fprintf(stderr, "--adversary: unknown adversary profile '%s' (known:",
+                 adversary.c_str());
+    for (auto known : internet::adversary_profile_names())
       std::fprintf(stderr, " %.*s", static_cast<int>(known.size()),
                    known.data());
     std::fprintf(stderr, ")\n");
@@ -193,6 +209,7 @@ int main(int argc, char** argv) {
       campaign_options.population, week);
   campaign_options.qlog_dir = qlog_dir;
   campaign_options.impairment = impair;
+  campaign_options.adversary = adversary;
   engine::Campaign campaign(campaign_options);
 
   // The sweep space comes from a planning world over the same shared
